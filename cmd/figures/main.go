@@ -1,0 +1,80 @@
+// Command figures regenerates the paper's evaluation figures (5-10) with
+// this repository's implementations. Output is an ASCII rendering on
+// stdout by default, or gnuplot-friendly TSV with -tsv.
+//
+// Usage:
+//
+//	figures -fig 9                        # one figure, laptop scale
+//	figures -all -queries 1000 -ns 10,20,30,40,50,60,70,80,90,100
+//	figures -fig 10 -threads 2 -tsv > fig10.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"imflow/internal/bench"
+	"imflow/internal/cliutil"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (5-10)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	queries := flag.Int("queries", 100, "queries per data point (paper: 1000)")
+	nsFlag := flag.String("ns", "10,20,30,40,50", "comma-separated disks-per-site sweep (paper: 10..100)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	threads := flag.Int("threads", 2, "threads for the parallel solver (figure 10)")
+	tsv := flag.Bool("tsv", false, "emit TSV instead of ASCII tables")
+	svgDir := flag.String("svg", "", "also write one <dir>/figN.svg chart per figure")
+	workFlag := flag.Bool("work", false, "with -fig 9: plot deterministic push-operation ratios instead of wall clock")
+	flag.Parse()
+
+	ns, err := cliutil.ParseNs(*nsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	o := bench.Options{Ns: ns, Queries: *queries, Seed: *seed, Threads: *threads}
+
+	work := false
+	var ids []int
+	switch {
+	case *all:
+		ids = []int{5, 6, 7, 8, 9, 10}
+	case *fig != 0:
+		ids = []int{*fig}
+		work = *workFlag
+	default:
+		fatalf("pass -fig N (5-10) or -all")
+	}
+	for _, id := range ids {
+		var f *bench.Figure
+		var err error
+		if work && id == 9 {
+			f, err = bench.Fig9Work(o)
+		} else {
+			f, err = bench.ByID(id, o)
+		}
+		if err != nil {
+			fatalf("figure %d: %v", id, err)
+		}
+		if *tsv {
+			fmt.Print(f.TSV())
+		} else {
+			fmt.Println(f.Render())
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, fmt.Sprintf("fig%d.svg", id))
+			if err := os.WriteFile(path, []byte(f.SVG()), 0o644); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

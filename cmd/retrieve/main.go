@@ -1,0 +1,126 @@
+// Command retrieve computes an optimal response time retrieval schedule
+// for a single query described as JSON on stdin (or a file), using any of
+// the repository's solvers.
+//
+// Input format:
+//
+//	{
+//	  "disks": [
+//	    {"service_ms": 6.1, "delay_ms": 2, "load_ms": 1},
+//	    {"service_ms": 0.2, "delay_ms": 1, "load_ms": 0}
+//	  ],
+//	  "buckets": [[0, 1], [0], [1]]
+//	}
+//
+// where disks[j] holds disk j's parameters and buckets[i] lists the disks
+// storing a replica of bucket i. The output is a JSON schedule:
+// the serving disk of every bucket, the per-disk block counts, and the
+// optimal response time.
+//
+// Usage:
+//
+//	retrieve [-algo pr-binary] [-threads 2] [-in file.json] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"imflow/internal/encoding"
+	"imflow/internal/retrieval"
+)
+
+type output struct {
+	Algorithm      string           `json:"algorithm"`
+	ResponseTimeMs float64          `json:"response_time_ms"`
+	Assignment     []int            `json:"assignment"`
+	Counts         []int64          `json:"counts"`
+	DecisionTimeMs float64          `json:"decision_time_ms"`
+	Stats          *retrieval.Stats `json:"stats,omitempty"`
+	Bottleneck     *bottleneckJSON  `json:"bottleneck,omitempty"`
+}
+
+type bottleneckJSON struct {
+	Disks   []int `json:"disks"`
+	Buckets []int `json:"buckets"`
+}
+
+func main() {
+	algo := flag.String("algo", "pr-binary", "solver: ff-incremental, pr-incremental, pr-binary, pr-binary-blackbox, pr-binary-parallel, oracle")
+	threads := flag.Int("threads", 2, "threads for pr-binary-parallel")
+	in := flag.String("in", "-", "input file ('-' for stdin)")
+	withStats := flag.Bool("stats", false, "include solver work counters in the output")
+	explain := flag.Bool("explain", false, "include the bottleneck diagnosis (binding disks and buckets)")
+	list := flag.Bool("list", false, "list available solvers and exit")
+	flag.Parse()
+
+	solvers := retrieval.Solvers(*threads)
+	if *list {
+		names := make([]string, 0, len(solvers))
+		for n := range solvers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	solver, ok := solvers[*algo]
+	if !ok {
+		fatalf("unknown solver %q (use -list)", *algo)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	p, err := encoding.ReadProblem(r)
+	if err != nil {
+		fatalf("parsing input: %v", err)
+	}
+
+	start := time.Now()
+	res, err := solver.Solve(p)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatalf("solving: %v", err)
+	}
+	out := output{
+		Algorithm:      solver.Name(),
+		ResponseTimeMs: res.Schedule.ResponseTime.Millis(),
+		Assignment:     res.Schedule.Assignment,
+		Counts:         res.Schedule.Counts,
+		DecisionTimeMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	if *withStats {
+		out.Stats = &res.Stats
+	}
+	if *explain {
+		b, _, err := retrieval.ExplainBottleneck(p)
+		if err != nil {
+			fatalf("explaining: %v", err)
+		}
+		out.Bottleneck = &bottleneckJSON{Disks: b.Disks, Buckets: b.Buckets}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "retrieve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command simulate replays a synthetic query stream through the
+// event-driven storage simulator, scheduling each arrival with a chosen
+// solver against the live per-disk backlogs (the initial loads X_j of the
+// generalized retrieval problem). It prints per-scheduler response-time
+// statistics and a disk-utilization summary, making the response-time
+// value of optimal scheduling visible — the motivation of the paper's
+// Section II-A.
+//
+// Usage:
+//
+//	simulate -exp 4 -alloc dependent -type arbitrary -load 3 -n 16 \
+//	         -queries 200 -interarrival 3 -algos pr-binary,greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"imflow/internal/cliutil"
+	"imflow/internal/cost"
+	"imflow/internal/decluster"
+	"imflow/internal/experiment"
+	"imflow/internal/grid"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/sim"
+	"imflow/internal/stats"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+func main() {
+	expNum := flag.Int("exp", 4, "Table IV experiment (1-5)")
+	allocName := flag.String("alloc", "dependent", "allocation: rda, dependent, orthogonal")
+	typeName := flag.String("type", "arbitrary", "query type: range, arbitrary")
+	loadNum := flag.Int("load", 3, "query load (1-3)")
+	n := flag.Int("n", 16, "disks per site")
+	queries := flag.Int("queries", 200, "stream length")
+	interMs := flag.Float64("interarrival", 3, "mean inter-arrival gap (ms)")
+	algos := flag.String("algos", "pr-binary,greedy", "comma-separated solvers to replay")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	threads := flag.Int("threads", 2, "threads for pr-binary-parallel")
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	exp, err := storage.ExperimentByNum(*expNum)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sys := exp.Build(*n, rng)
+	g := grid.New(*n)
+
+	var alloc *decluster.Allocation
+	switch *allocName {
+	case "rda":
+		alloc = decluster.RDA(g, *n, sys.Sites, rng.Fork())
+	case "dependent":
+		alloc = decluster.Dependent(g, sys.Sites)
+	case "orthogonal":
+		alloc = decluster.Orthogonal(g)
+	default:
+		fatalf("unknown allocation %q", *allocName)
+	}
+	typ, err := cliutil.ParseType(*typeName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	load, err := cliutil.ParseLoad(*loadNum)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	gen := query.NewGenerator(g, typ, load)
+
+	// One shared stream so every scheduler faces identical arrivals.
+	stream := make([]sim.Query, *queries)
+	var clock cost.Micros
+	srng := rng.Fork()
+	for i := range stream {
+		clock += cost.FromMillis(float64(1 + srng.Intn(int(2**interMs))))
+		p := experiment.BuildProblem(sys, alloc, gen.Query(srng))
+		stream[i] = sim.Query{Arrival: clock, Replicas: p.Replicas}
+	}
+
+	solvers := retrieval.Solvers(*threads)
+	solvers["greedy"] = retrieval.NewGreedy()
+
+	fmt.Printf("stream: %d queries over %d disks (exp %d, %s, %s, load %d)\n\n",
+		*queries, sys.NumDisks(), *expNum, *allocName, *typeName, *loadNum)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheduler\tmean ms\tmedian ms\tp95 ms\tmax ms\tblocks site1\tblocks site2")
+	for _, name := range strings.Split(*algos, ",") {
+		name = strings.TrimSpace(name)
+		s, ok := solvers[name]
+		if !ok {
+			fatalf("unknown solver %q", name)
+		}
+		simulator := sim.New(sys, sim.SolverScheduler{Solver: s})
+		results, err := simulator.Run(append([]sim.Query(nil), stream...))
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		resp := make([]float64, len(results))
+		for i, r := range results {
+			resp[i] = r.ResponseTime.Millis()
+		}
+		var s1, s2 int64
+		for j, tr := range simulator.Traces() {
+			if j < *n {
+				s1 += tr.Blocks
+			} else {
+				s2 += tr.Blocks
+			}
+		}
+		sum := stats.Summarize(resp)
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%d\n",
+			name, sum.Mean, sum.Median, sum.P95, sum.Max, s1, s2)
+	}
+	w.Flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Bottleneck: "why is this query slow, and what should I upgrade?" —
+// the min-cut-grounded diagnosis a storage operator gets from the library.
+//
+// The scenario: a two-site system where site 2's fast SSDs hold the second
+// copy of everything, except one unlucky region of the grid whose replicas
+// both live on slow HDDs. The diagnosis names exactly the disks and
+// buckets that pin the response time, and the example then "upgrades" the
+// binding disks to show the predicted improvement materialize.
+//
+// Run with:
+//
+//	go run ./examples/bottleneck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+func main() {
+	// Disks 0-3: Barracudas (13.2 ms). Disks 4-7: X25-E SSDs (0.2 ms).
+	disks := make([]retrieval.DiskParams, 8)
+	for j := 0; j < 4; j++ {
+		disks[j] = retrieval.DiskParams{Service: cost.FromMillis(13.2)}
+	}
+	for j := 4; j < 8; j++ {
+		disks[j] = retrieval.DiskParams{Service: cost.FromMillis(0.2), Delay: cost.FromMillis(1)}
+	}
+	// 12 buckets; buckets 0-9 have an SSD copy, buckets 10-11 are the
+	// unlucky region replicated on HDDs only.
+	problem := &retrieval.Problem{Disks: disks}
+	for i := 0; i < 10; i++ {
+		problem.Replicas = append(problem.Replicas, []int{i % 4, 4 + i%4})
+	}
+	problem.Replicas = append(problem.Replicas, []int{0, 1}, []int{2, 3})
+
+	b, sched, err := retrieval.ExplainBottleneck(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal response time: %v\n", sched.ResponseTime)
+	fmt.Printf("binding disks:   %v\n", b.Disks)
+	fmt.Printf("binding buckets: %v (replicated on HDDs only)\n\n", b.Buckets)
+
+	// Upgrade the binding disks to Cheetahs and re-solve.
+	upgraded := &retrieval.Problem{
+		Disks:    append([]retrieval.DiskParams(nil), problem.Disks...),
+		Replicas: problem.Replicas,
+	}
+	for _, d := range b.Disks {
+		upgraded.Disks[d].Service = cost.FromMillis(6.1)
+	}
+	res, err := retrieval.NewPRBinary().Solve(upgraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after upgrading disks %v to 6.1 ms: response %v (was %v)\n",
+		b.Disks, res.Schedule.ResponseTime, sched.ResponseTime)
+
+	// Alternatively, add an SSD replica for the binding buckets.
+	replicated := &retrieval.Problem{Disks: problem.Disks}
+	for i, reps := range problem.Replicas {
+		r := append([]int(nil), reps...)
+		for _, bi := range b.Buckets {
+			if i == bi {
+				r = append(r, 4+i%4)
+			}
+		}
+		replicated.Replicas = append(replicated.Replicas, r)
+	}
+	res2, err := retrieval.NewPRBinary().Solve(replicated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after adding SSD replicas for buckets %v: response %v\n",
+		b.Buckets, res2.Schedule.ResponseTime)
+}

@@ -1,0 +1,90 @@
+// Loadstream: where the initial loads X_j come from. The generalized
+// retrieval problem's X_j parameter is the time a disk needs to drain the
+// queue left by *previous* queries — this example makes that concrete by
+// replaying a bursty query stream through the event-driven storage
+// simulator, scheduling each arrival with the live per-disk backlogs.
+//
+// Several schedulers replay the identical stream side by side: the
+// integrated push-relabel optimum, the black-box baseline (same schedules,
+// slower decisions), and the greedy heuristic (faster decisions, worse
+// schedules). Because the optimal scheduler balances the backlog it leaves
+// behind, its advantage compounds over the stream.
+//
+// Run with:
+//
+//	go run ./examples/loadstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imflow/internal/cost"
+	"imflow/internal/decluster"
+	"imflow/internal/grid"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/sim"
+	"imflow/internal/stats"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+func main() {
+	const (
+		n        = 16
+		nQueries = 120
+	)
+	rng := xrand.New(99)
+
+	exp, err := storage.ExperimentByNum(4) // mixed SSD+HDD arrays on both sites
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := exp.Build(n, rng)
+	g := grid.New(n)
+
+	spec := sim.StreamSpec{
+		System:   sys,
+		Alloc:    decluster.Dependent(g, sys.Sites),
+		Type:     query.Arbitrary,
+		Load:     query.Load3,
+		Arrivals: sim.PoissonArrivals{Mean: cost.FromMillis(2.5)},
+		Queries:  nQueries,
+		Seed:     7,
+	}
+	stream, err := spec.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	comps, err := sim.Compare(sys, stream,
+		sim.SolverScheduler{Solver: retrieval.NewPRBinary()},
+		sim.SolverScheduler{Solver: retrieval.NewPRBinaryBlackBox()},
+		sim.SolverScheduler{Solver: retrieval.NewGreedy()},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replayed %d %s queries over %d disks (2 sites, mixed SSD+HDD)\n\n",
+		nQueries, spec.Arrivals.Name(), sys.NumDisks())
+	fmt.Printf("  %-22s %10s %10s %14s\n", "scheduler", "mean ms", "p95 ms", "mean util")
+	for _, c := range comps {
+		fmt.Printf("  %-22s %10.2f %10.2f %13.1f%%\n",
+			c.Scheduler, c.MeanMs, c.P95Ms, 100*stats.Mean(c.Utilization))
+	}
+
+	opt, greedy := comps[0], comps[2]
+	fmt.Printf("\ngreedy/optimal mean response ratio: %.2fx\n", greedy.MeanMs/opt.MeanMs)
+	fmt.Println("(pr-binary and pr-binary-blackbox are both per-query optimal; their")
+	fmt.Println(" streams can still diverge because optimal schedules are not unique —")
+	fmt.Println(" different tie-breaking leaves different backlogs for later queries)")
+
+	fmt.Println("\nsample of per-query response times (ms):")
+	fmt.Printf("  %-8s%12s%12s\n", "query", "optimal", "greedy")
+	for i := 0; i < nQueries; i += nQueries / 10 {
+		fmt.Printf("  %-8d%12.2f%12.2f\n",
+			i, opt.Responses[i].Millis(), greedy.Responses[i].Millis())
+	}
+}

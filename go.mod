@@ -1,0 +1,3 @@
+module imflow
+
+go 1.22

@@ -1,0 +1,64 @@
+package imflow_test
+
+import (
+	"testing"
+
+	"imflow"
+)
+
+// TestFacadeQuickstart exercises the package-level API end to end — the
+// doc-comment example must actually work.
+func TestFacadeQuickstart(t *testing.T) {
+	p := &imflow.Problem{
+		Disks: []imflow.DiskParams{
+			{Service: imflow.FromMillis(6.1)},
+			{Service: imflow.FromMillis(0.2), Delay: imflow.FromMillis(1)},
+		},
+		Replicas: [][]int{{0, 1}, {0}, {1}},
+	}
+	res, err := imflow.NewPRBinary().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 1 is only on disk 0 (6.1 ms); buckets 0 and 2 fit on disk 1.
+	if want := imflow.FromMillis(6.1); res.Schedule.ResponseTime != want {
+		t.Fatalf("response %v, want %v", res.Schedule.ResponseTime, want)
+	}
+}
+
+// TestFacadeSolversAgree runs every named solver through the facade on one
+// instance and checks they agree (greedy may exceed the optimum but never
+// beat it).
+func TestFacadeSolversAgree(t *testing.T) {
+	p := &imflow.Problem{
+		Disks: []imflow.DiskParams{
+			{Service: imflow.FromMillis(8.3), Delay: imflow.FromMillis(2), Load: imflow.FromMillis(1)},
+			{Service: imflow.FromMillis(6.1), Delay: imflow.FromMillis(1)},
+			{Service: imflow.FromMillis(13.2), Delay: imflow.FromMillis(1)},
+		},
+		Replicas: [][]int{{0, 1}, {0, 2}, {1, 2}, {0, 1}, {1, 2}},
+	}
+	want, err := imflow.NewOracle().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range imflow.Solvers(2) {
+		res, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "greedy" {
+			if res.Schedule.ResponseTime < want.Schedule.ResponseTime {
+				t.Fatalf("greedy beat the optimum: %v < %v",
+					res.Schedule.ResponseTime, want.Schedule.ResponseTime)
+			}
+			continue
+		}
+		if res.Schedule.ResponseTime != want.Schedule.ResponseTime {
+			t.Fatalf("%s: response %v, oracle %v", name, res.Schedule.ResponseTime, want.Schedule.ResponseTime)
+		}
+	}
+}

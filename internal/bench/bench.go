@@ -1,0 +1,200 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation figures: it materializes experiment cells, times solvers on
+// identical problem batches, and assembles the per-figure data series.
+//
+// Absolute times depend on the host; what the harness is built to
+// reproduce is the paper's *shape*: which algorithm wins, by what factor,
+// and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+// Measurement is the timed outcome of one solver over one problem batch.
+type Measurement struct {
+	Solver    string
+	Queries   int
+	Total     time.Duration
+	PerQuery  []time.Duration // per-problem decision times, in batch order
+	Responses []cost.Micros   // per-problem optimal response times
+	Work      WorkTotals      // aggregated solver work counters
+}
+
+// WorkTotals aggregates solver work counters over a batch. Unlike wall
+// clock they are deterministic for a fixed seed, which makes them the
+// noise-free way to compare the black-box and integrated algorithms.
+type WorkTotals struct {
+	MaxflowRuns int
+	Increments  int
+	BinarySteps int
+	Pushes      int64
+	Relabels    int64
+	ArcScans    int64
+}
+
+func (w *WorkTotals) add(s *retrieval.Stats) {
+	w.MaxflowRuns += s.MaxflowRuns
+	w.Increments += s.Increments
+	w.BinarySteps += s.BinarySteps
+	w.Pushes += s.Flow.Pushes
+	w.Relabels += s.Flow.Relabels
+	w.ArcScans += s.Flow.ArcScans
+}
+
+// AvgMs returns the mean decision time per query in milliseconds.
+func (m Measurement) AvgMs() float64 {
+	if m.Queries == 0 {
+		return 0
+	}
+	return float64(m.Total.Microseconds()) / 1000 / float64(m.Queries)
+}
+
+// MeasureSolver times solver on every problem, returning per-query
+// decision times and the computed response times. The decision time
+// includes building the flow network — exactly the latency a storage
+// controller would add to the query.
+func MeasureSolver(solver retrieval.Solver, problems []*retrieval.Problem) (Measurement, error) {
+	m := Measurement{
+		Solver:    solver.Name(),
+		Queries:   len(problems),
+		PerQuery:  make([]time.Duration, len(problems)),
+		Responses: make([]cost.Micros, len(problems)),
+	}
+	for i, p := range problems {
+		start := time.Now()
+		res, err := solver.Solve(p)
+		elapsed := time.Since(start)
+		if err != nil {
+			return m, fmt.Errorf("bench: %s on query %d: %w", solver.Name(), i, err)
+		}
+		m.PerQuery[i] = elapsed
+		m.Responses[i] = res.Schedule.ResponseTime
+		m.Total += elapsed
+		m.Work.add(&res.Stats)
+	}
+	return m, nil
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labeled curve of a figure panel.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Panel is one sub-figure: a set of series over a common axis pair.
+type Panel struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure is one of the paper's evaluation figures.
+type Figure struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	Panels []Panel
+}
+
+// TSV renders the figure as tab-separated blocks, one per panel: a header
+// row (x label then series labels) followed by one row per x value.
+// Gnuplot and spreadsheet friendly.
+func (f *Figure) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "## %s\n", p.Name)
+		b.WriteString(p.XLabel)
+		for _, s := range p.Series {
+			b.WriteByte('\t')
+			b.WriteString(s.Label)
+		}
+		b.WriteByte('\n')
+		for _, row := range p.rows() {
+			fmt.Fprintf(&b, "%g", row.x)
+			for _, y := range row.ys {
+				if y == nil {
+					b.WriteString("\t-")
+				} else {
+					fmt.Fprintf(&b, "\t%.6g", *y)
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type panelRow struct {
+	x  float64
+	ys []*float64
+}
+
+// rows joins the panel's series on their x values.
+func (p *Panel) rows() []panelRow {
+	xs := map[float64]bool{}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			xs[pt.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	rows := make([]panelRow, len(sorted))
+	for i, x := range sorted {
+		rows[i] = panelRow{x: x, ys: make([]*float64, len(p.Series))}
+		for si, s := range p.Series {
+			for _, pt := range s.Points {
+				if pt.X == x {
+					y := pt.Y
+					rows[i].ys[si] = &y
+					break
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// Render draws the figure as indented ASCII tables for terminal output.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "\n  [%s]  (y: %s)\n", p.Name, p.YLabel)
+		fmt.Fprintf(&b, "  %-10s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, "%16s", s.Label)
+		}
+		b.WriteByte('\n')
+		for _, row := range p.rows() {
+			fmt.Fprintf(&b, "  %-10g", row.x)
+			for _, y := range row.ys {
+				if y == nil {
+					fmt.Fprintf(&b, "%16s", "-")
+				} else {
+					fmt.Fprintf(&b, "%16.4f", *y)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

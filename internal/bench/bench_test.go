@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/xrand"
+)
+
+func smallProblems(n int) []*retrieval.Problem {
+	rng := xrand.New(1)
+	out := make([]*retrieval.Problem, n)
+	for i := range out {
+		p := &retrieval.Problem{
+			Disks: []retrieval.DiskParams{
+				{Service: cost.FromMillis(6.1)},
+				{Service: cost.FromMillis(0.5)},
+				{Service: cost.FromMillis(8.3), Delay: cost.FromMillis(2)},
+			},
+		}
+		q := 1 + rng.Intn(10)
+		p.Replicas = make([][]int, q)
+		for j := range p.Replicas {
+			p.Replicas[j] = rng.Sample(3, 2)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestMeasureSolver(t *testing.T) {
+	problems := smallProblems(10)
+	m, err := MeasureSolver(retrieval.NewPRBinary(), problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries != 10 || len(m.PerQuery) != 10 || len(m.Responses) != 10 {
+		t.Fatalf("measurement shape wrong: %+v", m)
+	}
+	var sum int64
+	for _, d := range m.PerQuery {
+		sum += int64(d)
+	}
+	if sum != int64(m.Total) {
+		t.Error("per-query times don't sum to total")
+	}
+	if m.AvgMs() <= 0 {
+		t.Error("non-positive average")
+	}
+	// Cross-check responses against the oracle.
+	for i, p := range problems {
+		want, err := retrieval.NewOracle().Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Responses[i] != want.Schedule.ResponseTime {
+			t.Fatalf("query %d: measured response %v, oracle %v",
+				i, m.Responses[i], want.Schedule.ResponseTime)
+		}
+	}
+}
+
+func TestMeasureSolverPropagatesErrors(t *testing.T) {
+	bad := []*retrieval.Problem{{}} // empty query fails validation
+	if _, err := MeasureSolver(retrieval.NewPRBinary(), bad); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		ID:    "figX",
+		Title: "test figure",
+		Panels: []Panel{{
+			Name: "panel", XLabel: "N", YLabel: "ms",
+			Series: []Series{
+				{Label: "a", Points: []Point{{10, 1.5}, {20, 2.5}}},
+				{Label: "b", Points: []Point{{10, 3.0}}},
+			},
+		}},
+	}
+	tsv := f.TSV()
+	for _, want := range []string{"# figX", "## panel", "N\ta\tb", "10\t1.5\t3", "20\t2.5\t-"} {
+		if !strings.Contains(tsv, want) {
+			t.Errorf("TSV missing %q:\n%s", want, tsv)
+		}
+	}
+	ascii := f.Render()
+	for _, want := range []string{"FIGX", "panel", "1.5000", "-"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("Render missing %q:\n%s", want, ascii)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).validate(); err == nil {
+		t.Error("empty options accepted")
+	}
+	if err := (Options{Ns: []int{10}, Queries: 1}).validate(); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if err := DefaultOptions().validate(); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestByIDRejectsUnknownFigure(t *testing.T) {
+	if _, err := ByID(4, DefaultOptions()); err == nil {
+		t.Error("figure 4 accepted")
+	}
+	if _, err := ByID(11, DefaultOptions()); err == nil {
+		t.Error("figure 11 accepted")
+	}
+}
+
+// tinyOptions keeps the figure pipelines fast enough for unit tests.
+func tinyOptions() Options {
+	return Options{Ns: []int{6, 10}, Queries: 6, Seed: 11, Threads: 2}
+}
+
+func TestFig5PipelineShape(t *testing.T) {
+	f, err := Fig5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 3 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	for _, p := range f.Panels {
+		if len(p.Series) != 2 {
+			t.Fatalf("panel %s: %d series", p.Name, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.Points) != 2 {
+				t.Fatalf("panel %s series %s: %d points", p.Name, s.Label, len(s.Points))
+			}
+			for _, pt := range s.Points {
+				if pt.Y <= 0 {
+					t.Fatalf("non-positive runtime %v", pt)
+				}
+			}
+		}
+	}
+}
+
+func TestFig7PipelineShape(t *testing.T) {
+	f, err := Fig7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 3 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	for _, p := range f.Panels {
+		if len(p.Series) != 3 { // one per allocation scheme
+			t.Fatalf("panel %s: %d series", p.Name, len(p.Series))
+		}
+	}
+}
+
+func TestFig8PipelineShape(t *testing.T) {
+	f, err := Fig8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 3 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	names := []string{"Black Box execution time", "Integrated execution time", "Execution time ratio"}
+	for i, p := range f.Panels {
+		if p.Name != names[i] {
+			t.Errorf("panel %d = %q", i, p.Name)
+		}
+	}
+}
+
+func TestFig10PipelineShape(t *testing.T) {
+	o := Options{Ns: []int{8}, Queries: 5, Seed: 11, Threads: 2}
+	f, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 3 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	for _, p := range f.Panels {
+		if len(p.Series) != 1 || len(p.Series[0].Points) != 5 {
+			t.Fatalf("panel %s shape wrong", p.Name)
+		}
+	}
+}
+
+func TestResponseReportShape(t *testing.T) {
+	o := Options{Ns: []int{6, 8}, Queries: 5, Seed: 2, Threads: 2}
+	f, err := ResponseReport(o, experiment.Dependent, query.Range, query.Load3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 2 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	for _, p := range f.Panels {
+		if len(p.Series) != 5 { // one per experiment
+			t.Fatalf("panel %s: %d series", p.Name, len(p.Series))
+		}
+	}
+	// Greedy ratio panel must be >= 1 everywhere.
+	for _, s := range f.Panels[1].Series {
+		for _, pt := range s.Points {
+			if pt.Y < 0.999 {
+				t.Fatalf("greedy beat optimal: %v", pt)
+			}
+		}
+	}
+}
+
+func TestFig9WorkShape(t *testing.T) {
+	o := Options{Ns: []int{6}, Queries: 5, Seed: 2, Threads: 2}
+	f, err := Fig9Work(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 3 {
+		t.Fatalf("%d panels", len(f.Panels))
+	}
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				if pt.Y <= 0 {
+					t.Fatalf("non-positive work ratio %v", pt)
+				}
+			}
+		}
+	}
+}
+
+func TestByIDCoversAllFigures(t *testing.T) {
+	o := Options{Ns: []int{6}, Queries: 3, Seed: 4, Threads: 2}
+	for id := 5; id <= 10; id++ {
+		f, err := ByID(id, o)
+		if err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+		if len(f.Panels) == 0 {
+			t.Fatalf("figure %d: no panels", id)
+		}
+	}
+}
+
+func TestAvgMsEmpty(t *testing.T) {
+	var m Measurement
+	if m.AvgMs() != 0 {
+		t.Error("empty measurement average not 0")
+	}
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/stats"
+)
+
+// ResponseReport studies the *response times* themselves rather than the
+// decision times — the companion analysis the paper defers to its
+// reference [12]. For each Table IV experiment it reports the mean optimal
+// response time across the N sweep, plus what the greedy heuristic loses
+// against the optimum on the same queries.
+func ResponseReport(o Options, alloc experiment.AllocKind, typ query.Type, load query.Load) (*Figure, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "response",
+		Title: fmt.Sprintf("Mean optimal response time and greedy penalty (%s, %s, %s)",
+			alloc, typ, load),
+	}
+	optimal := Panel{Name: "Mean optimal response time", XLabel: "N", YLabel: "response (ms)"}
+	penalty := Panel{Name: "Greedy / optimal response ratio", XLabel: "N", YLabel: "ratio"}
+	for expNum := 1; expNum <= 5; expNum++ {
+		sOpt := Series{Label: fmt.Sprintf("exp%d", expNum)}
+		sPen := Series{Label: fmt.Sprintf("exp%d", expNum)}
+		for _, n := range o.Ns {
+			inst, err := cell(expNum, alloc, panelSpec{"", typ, load}, n, o)
+			if err != nil {
+				return nil, err
+			}
+			mOpt, err := MeasureSolver(retrieval.NewPRBinary(), inst.Problems)
+			if err != nil {
+				return nil, err
+			}
+			mGr, err := MeasureSolver(retrieval.NewGreedy(), inst.Problems)
+			if err != nil {
+				return nil, err
+			}
+			opt := make([]float64, len(mOpt.Responses))
+			gr := make([]float64, len(mGr.Responses))
+			for i := range opt {
+				opt[i] = mOpt.Responses[i].Millis()
+				gr[i] = mGr.Responses[i].Millis()
+			}
+			meanOpt := stats.Mean(opt)
+			sOpt.Points = append(sOpt.Points, Point{X: float64(n), Y: meanOpt})
+			sPen.Points = append(sPen.Points, Point{X: float64(n), Y: stats.Mean(gr) / meanOpt})
+		}
+		optimal.Series = append(optimal.Series, sOpt)
+		penalty.Series = append(penalty.Series, sPen)
+	}
+	f.Panels = []Panel{optimal, penalty}
+	return f, nil
+}

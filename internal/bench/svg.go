@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svg line-chart rendering: each Panel becomes one chart, stacked
+// vertically in a single SVG document. Pure stdlib — good enough to
+// eyeball the reproduced curves next to the paper's figures.
+
+const (
+	svgW       = 560
+	svgH       = 360
+	svgMarginL = 64
+	svgMarginR = 16
+	svgMarginT = 40
+	svgMarginB = 48
+)
+
+var svgColors = []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the figure as a stand-alone SVG document with one chart per
+// panel.
+func (f *Figure) SVG() string {
+	var b strings.Builder
+	total := svgH * len(f.Panels)
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", svgW, total)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, total)
+	for i, p := range f.Panels {
+		b.WriteString(p.svg(i*svgH, fmt.Sprintf("%s — %s", strings.ToUpper(f.ID), p.Name)))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svg renders one panel offset vertically by top.
+func (p *Panel) svg(top int, title string) string {
+	var b strings.Builder
+	// Data bounds.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := 0.0, math.Inf(-1) // y axis anchored at 0 like the paper's plots
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			xMin = math.Min(xMin, pt.X)
+			xMax = math.Max(xMax, pt.X)
+			yMax = math.Max(yMax, pt.Y)
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax, yMax = 0, 1, 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	yMax *= 1.05 // headroom
+
+	plotW := float64(svgW - svgMarginL - svgMarginR)
+	plotH := float64(svgH - svgMarginT - svgMarginB)
+	px := func(x float64) float64 { return float64(svgMarginL) + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 {
+		return float64(top) + float64(svgMarginT) + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" font-weight="bold">%s</text>`+"\n",
+		svgMarginL, top+20, svgEscape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n",
+		px(xMin), py(yMin), px(xMax), py(yMin))
+	fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n",
+		px(xMin), py(yMin), px(xMin), py(yMax/1.05))
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/4
+		yv := yMin + (yMax-yMin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), float64(top+svgH-svgMarginB+16), svgNum(xv))
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			float64(svgMarginL-6), py(yv)+3, svgNum(yv))
+		fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="#ddd"/>`+"\n",
+			px(xMin), py(yv), px(xMax), py(yv))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		px((xMin+xMax)/2), top+svgH-12, svgEscape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%f" font-size="11" text-anchor="middle" transform="rotate(-90 14 %f)">%s</text>`+"\n",
+		py((yMin+yMax)/2), py((yMin+yMax)/2), svgEscape(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		color := svgColors[si%len(svgColors)]
+		var path strings.Builder
+		for i, pt := range s.Points {
+			if i == 0 {
+				fmt.Fprintf(&path, "M%f,%f", px(pt.X), py(pt.Y))
+			} else {
+				fmt.Fprintf(&path, " L%f,%f", px(pt.X), py(pt.Y))
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%f" cy="%f" r="2.5" fill="%s"/>`+"\n", px(pt.X), py(pt.Y), color)
+		}
+		// Legend entry.
+		lx, ly := svgMarginL+8, top+svgMarginT+8+14*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+			lx+24, ly+3, svgEscape(s.Label))
+	}
+	return b.String()
+}
+
+// svgNum formats an axis tick without trailing noise.
+func svgNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func testFigure() *Figure {
+	return &Figure{
+		ID:    "fig9",
+		Title: "test",
+		Panels: []Panel{
+			{
+				Name: "panel a", XLabel: "N", YLabel: "ratio",
+				Series: []Series{
+					{Label: "rda", Points: []Point{{10, 1.2}, {20, 1.4}, {30, 1.8}}},
+					{Label: "orthogonal", Points: []Point{{10, 1.1}, {20, 1.3}, {30, 1.6}}},
+				},
+			},
+			{
+				Name: "panel b", XLabel: "N", YLabel: "ms",
+				Series: []Series{
+					{Label: "only", Points: []Point{{10, 5}, {20, 9}}},
+				},
+			},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := testFigure().SVG()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"</svg>",
+		"FIG9 — panel a",
+		"FIG9 — panel b",
+		"rda",
+		"orthogonal",
+		"<path d=\"M",
+		"<circle",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Balanced tags for the elements we emit in pairs.
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Error("unbalanced <svg>")
+	}
+	if strings.Count(svg, "<text") != strings.Count(svg, "</text>") {
+		t.Error("unbalanced <text>")
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "empty", Panels: []Panel{{Name: "nothing"}}}
+	svg := f.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty figure should still render a document")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	f := &Figure{ID: "f", Title: "t", Panels: []Panel{{
+		Name: "a<b", XLabel: `x"y`, YLabel: "p&q",
+		Series: []Series{{Label: "s<1>", Points: []Point{{1, 1}}}},
+	}}}
+	svg := f.SVG()
+	for _, bad := range []string{"a<b", `x"y</text>`, "p&q", "s<1>"} {
+		if strings.Contains(svg, bad) {
+			t.Errorf("unescaped %q leaked into SVG", bad)
+		}
+	}
+	for _, want := range []string{"a&lt;b", "p&amp;q"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("expected escaped form %q", want)
+		}
+	}
+}
+
+func TestSVGNum(t *testing.T) {
+	if svgNum(10) != "10" {
+		t.Errorf("svgNum(10) = %q", svgNum(10))
+	}
+	if svgNum(1.2345) != "1.23" {
+		t.Errorf("svgNum(1.2345) = %q", svgNum(1.2345))
+	}
+}

@@ -1,0 +1,65 @@
+// Package cliutil holds the small parsing helpers shared by the cmd/
+// binaries, so flag vocabulary ("rda", "arbitrary", "10,20,30") stays
+// consistent across tools and is unit-testable.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+)
+
+// ParseNs parses a comma-separated list of positive disk counts.
+func ParseNs(s string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad N %q (want a positive integer)", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("empty N sweep")
+	}
+	return ns, nil
+}
+
+// ParseAlloc maps an allocation scheme name to its kind.
+func ParseAlloc(s string) (experiment.AllocKind, error) {
+	switch s {
+	case "rda":
+		return experiment.RDA, nil
+	case "dependent":
+		return experiment.Dependent, nil
+	case "orthogonal":
+		return experiment.Orthogonal, nil
+	}
+	return 0, fmt.Errorf("unknown allocation %q (want rda, dependent, or orthogonal)", s)
+}
+
+// ParseType maps a query type name to its type.
+func ParseType(s string) (query.Type, error) {
+	switch s {
+	case "range":
+		return query.Range, nil
+	case "arbitrary":
+		return query.Arbitrary, nil
+	}
+	return 0, fmt.Errorf("unknown query type %q (want range or arbitrary)", s)
+}
+
+// ParseLoad validates a query load number.
+func ParseLoad(n int) (query.Load, error) {
+	if n < 1 || n > 3 {
+		return 0, fmt.Errorf("unknown load %d (want 1-3)", n)
+	}
+	return query.Load(n), nil
+}

@@ -1,0 +1,77 @@
+package cliutil
+
+import (
+	"testing"
+
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+)
+
+func TestParseNs(t *testing.T) {
+	good := map[string][]int{
+		"10":       {10},
+		"10,20,30": {10, 20, 30},
+		" 5 , 7 ":  {5, 7},
+		"1,2,3,,":  {1, 2, 3},
+		"100,10":   {100, 10}, // order preserved
+	}
+	for in, want := range good {
+		got, err := ParseNs(in)
+		if err != nil {
+			t.Fatalf("ParseNs(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ParseNs(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ParseNs(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"", ",", "abc", "0", "-5", "10,x"} {
+		if _, err := ParseNs(in); err == nil {
+			t.Errorf("ParseNs(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseAlloc(t *testing.T) {
+	cases := map[string]experiment.AllocKind{
+		"rda": experiment.RDA, "dependent": experiment.Dependent, "orthogonal": experiment.Orthogonal,
+	}
+	for in, want := range cases {
+		got, err := ParseAlloc(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlloc(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAlloc("round-robin"); err == nil {
+		t.Error("bad allocation accepted")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	if got, err := ParseType("range"); err != nil || got != query.Range {
+		t.Error("range")
+	}
+	if got, err := ParseType("arbitrary"); err != nil || got != query.Arbitrary {
+		t.Error("arbitrary")
+	}
+	if _, err := ParseType("knn"); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+func TestParseLoad(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		if got, err := ParseLoad(n); err != nil || got != query.Load(n) {
+			t.Errorf("ParseLoad(%d)", n)
+		}
+	}
+	for _, n := range []int{0, 4, -1} {
+		if _, err := ParseLoad(n); err == nil {
+			t.Errorf("ParseLoad(%d) accepted", n)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package cost defines the integer time representation used throughout the
+// retrieval library.
+//
+// The paper expresses every disk parameter in milliseconds with at most one
+// decimal digit (Table III) and every network delay and initial load as an
+// integral number of milliseconds (Table IV). Representing times as integer
+// microseconds therefore loses nothing, and it makes the capacity
+// computation floor((t-D-X)/C) an exact integer division: feasibility
+// decisions can never flip due to floating-point rounding.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Micros is a duration or instant measured in integer microseconds.
+type Micros int64
+
+// Max is the largest representable Micros, used as an "infinity" sentinel.
+const Max Micros = math.MaxInt64
+
+// FromMillis converts a (possibly fractional) millisecond quantity to
+// Micros, rounding to the nearest microsecond.
+func FromMillis(ms float64) Micros {
+	return Micros(math.Round(ms * 1000))
+}
+
+// Millis converts back to floating-point milliseconds for reporting.
+func (m Micros) Millis() float64 { return float64(m) / 1000 }
+
+// String renders the value as milliseconds with microsecond precision.
+func (m Micros) String() string {
+	return fmt.Sprintf("%.3fms", m.Millis())
+}
+
+// DiskFinish returns the completion time of a disk with network delay d,
+// initial load x and per-block service time c retrieving k blocks:
+// d + x + k*c. k must be non-negative.
+func DiskFinish(d, x, c Micros, k int64) Micros {
+	if k < 0 {
+		panic("cost: negative block count")
+	}
+	return d + x + Micros(k)*c
+}
+
+// BlocksWithin returns the largest k >= 0 such that d + x + k*c <= t, i.e.
+// the disk-to-sink edge capacity for candidate response time t. The result
+// is clamped to [0, limit]; pass limit < 0 for no clamp.
+func BlocksWithin(d, x, c Micros, t Micros, limit int64) int64 {
+	if c <= 0 {
+		panic("cost: non-positive service time")
+	}
+	budget := t - d - x
+	if budget < 0 {
+		return 0
+	}
+	k := int64(budget / c)
+	if limit >= 0 && k > limit {
+		k = limit
+	}
+	return k
+}

@@ -1,0 +1,104 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromMillisExactness(t *testing.T) {
+	// Every Table III / Table IV value must convert exactly.
+	cases := []struct {
+		ms   float64
+		want Micros
+	}{
+		{13.2, 13200}, {8.3, 8300}, {6.1, 6100}, {0.5, 500}, {0.2, 200},
+		{2, 2000}, {10, 10000}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := FromMillis(c.ms); got != c.want {
+			t.Errorf("FromMillis(%v) = %d, want %d", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestMillisRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw int32) bool {
+		m := Micros(raw)
+		return FromMillis(m.Millis()) == m
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskFinish(t *testing.T) {
+	if got := DiskFinish(2000, 1000, 8300, 3); got != 2000+1000+3*8300 {
+		t.Errorf("DiskFinish = %d", got)
+	}
+	if got := DiskFinish(0, 0, 200, 0); got != 0 {
+		t.Errorf("DiskFinish(k=0) = %d, want 0", got)
+	}
+}
+
+func TestDiskFinishPanicsOnNegativeCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative k")
+		}
+	}()
+	DiskFinish(0, 0, 1, -1)
+}
+
+func TestBlocksWithin(t *testing.T) {
+	cases := []struct {
+		d, x, c, t Micros
+		limit      int64
+		want       int64
+	}{
+		{0, 0, 100, 1000, -1, 10},
+		{0, 0, 100, 999, -1, 9},
+		{0, 0, 100, 1000, 5, 5},   // clamped
+		{500, 0, 100, 400, -1, 0}, // budget negative
+		{500, 300, 100, 800, -1, 0},
+		{500, 300, 100, 900, -1, 1},
+		{0, 0, 7, 20, -1, 2},
+	}
+	for _, c := range cases {
+		if got := BlocksWithin(c.d, c.x, c.c, c.t, c.limit); got != c.want {
+			t.Errorf("BlocksWithin(%d,%d,%d,%d,%d) = %d, want %d",
+				c.d, c.x, c.c, c.t, c.limit, got, c.want)
+		}
+	}
+}
+
+// TestBlocksWithinInvertsDiskFinish is the exactness property the integer
+// representation exists for: for any k, capacity at t = DiskFinish(k) is
+// exactly k (never k-1 from rounding).
+func TestBlocksWithinInvertsDiskFinish(t *testing.T) {
+	err := quick.Check(func(dRaw, xRaw uint16, cRaw uint8, kRaw uint8) bool {
+		d, x := Micros(dRaw), Micros(xRaw)
+		c := Micros(cRaw) + 1
+		k := int64(kRaw)
+		finish := DiskFinish(d, x, c, k)
+		return BlocksWithin(d, x, c, finish, -1) == k &&
+			(k == 0 || BlocksWithin(d, x, c, finish-1, -1) == k-1)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksWithinPanicsOnBadService(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero service time")
+		}
+	}()
+	BlocksWithin(0, 0, 0, 100, -1)
+}
+
+func TestString(t *testing.T) {
+	if got := Micros(8300).String(); got != "8.300ms" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package decluster
+
+import (
+	"fmt"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+// Quality metrics for replicated declusterings, in the style of the
+// paper's reference [43] ("Analysis and comparison of replicated
+// declustering schemes"): for a range query, the retrieval cost of an
+// allocation is the smallest possible maximum number of buckets any one
+// disk must serve, and the additive error is that cost minus the ideal
+// ceil(size/N). The retrieval cost of a *replicated* allocation is itself
+// a max-flow/matching problem; AdditiveError solves it exactly with a
+// Hopcroft-Karp-free incremental matching that suffices at these sizes.
+
+// QueryCost returns the optimal retrieval cost (max buckets on any disk)
+// of the given buckets under the allocation, considering every copy. It
+// is the basic (homogeneous) retrieval problem restricted to this
+// allocation: the smallest k such that a bucket-to-disk assignment exists
+// where each bucket uses one of its replica disks and no disk serves more
+// than k buckets.
+func (a *Allocation) QueryCost(buckets []int) int {
+	if len(buckets) == 0 {
+		return 0
+	}
+	// Binary search k with a bipartite feasibility check (greedy matching
+	// with augmentation — Kuhn's algorithm with capacities).
+	lo, hi := (len(buckets)+a.Disks-1)/a.Disks, len(buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.feasible(buckets, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// feasible reports whether the buckets can be assigned to replica disks
+// with no disk serving more than k of them (Kuhn's augmenting matching
+// with disk capacities).
+func (a *Allocation) feasible(buckets []int, k int) bool {
+	load := make([]int, a.Disks)
+	// assigned[i] = disk serving buckets[i]
+	assigned := make([]int, len(buckets))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	// holders[d] = indices of buckets currently assigned to disk d
+	holders := make([][]int, a.Disks)
+
+	var try func(i int, visited []bool) bool
+	try = func(i int, visited []bool) bool {
+		// The replica list must be local: the recursive eviction below
+		// re-enters try, which would clobber a shared buffer mid-iteration.
+		reps := a.Replicas(buckets[i], nil)
+		for _, d := range reps {
+			if visited[d] {
+				continue
+			}
+			visited[d] = true
+			if load[d] < k {
+				a.place(i, d, assigned, load, holders)
+				return true
+			}
+			// Try to evict one of d's current buckets to another disk.
+			for _, j := range holders[d] {
+				if try(j, visited) {
+					// j moved away; d has room now.
+					a.unplace(j, d, load, holders)
+					a.place(i, d, assigned, load, holders)
+					return true
+				}
+			}
+		}
+		return false
+	}
+	visited := make([]bool, a.Disks)
+	for i := range buckets {
+		for v := range visited {
+			visited[v] = false
+		}
+		if !try(i, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Allocation) place(i, d int, assigned []int, load []int, holders [][]int) {
+	assigned[i] = d
+	load[d]++
+	holders[d] = append(holders[d], i)
+}
+
+func (a *Allocation) unplace(j, d int, load []int, holders [][]int) {
+	load[d]--
+	h := holders[d]
+	for x, v := range h {
+		if v == j {
+			h[x] = h[len(h)-1]
+			holders[d] = h[:len(h)-1]
+			return
+		}
+	}
+}
+
+// ErrorReport summarizes the additive error of an allocation over a set
+// of range queries.
+type ErrorReport struct {
+	Queries  int
+	MaxError int
+	// Histogram[e] counts queries with additive error e.
+	Histogram map[int]int
+	// MeanCostRatio is mean(cost / ideal) over the queries.
+	MeanCostRatio float64
+}
+
+// AdditiveError evaluates the allocation over range query shapes. If
+// sample <= 0 every distinct shape is evaluated at one corner (periodic
+// allocations are corner-invariant; for RDA a corner is still a fair
+// sample); otherwise `sample` random (shape, corner) pairs are drawn.
+func (a *Allocation) AdditiveError(sample int, rng *xrand.Source) ErrorReport {
+	g := a.Grid
+	n := g.N()
+	rep := ErrorReport{Histogram: map[int]int{}}
+	var ratioSum float64
+	eval := func(r grid.Range) {
+		buckets := g.BucketsOf(r)
+		cost := a.QueryCost(buckets)
+		ideal := (len(buckets) + a.Disks - 1) / a.Disks
+		e := cost - ideal
+		rep.Queries++
+		rep.Histogram[e]++
+		if e > rep.MaxError {
+			rep.MaxError = e
+		}
+		ratioSum += float64(cost) / float64(ideal)
+	}
+	if sample <= 0 {
+		for rows := 1; rows <= n; rows++ {
+			for cols := 1; cols <= n; cols++ {
+				eval(grid.Range{Row: 0, Col: 0, Rows: rows, Cols: cols})
+			}
+		}
+	} else {
+		for i := 0; i < sample; i++ {
+			eval(grid.Range{
+				Row: rng.Intn(n), Col: rng.Intn(n),
+				Rows: rng.IntRange(1, n), Cols: rng.IntRange(1, n),
+			})
+		}
+	}
+	rep.MeanCostRatio = ratioSum / float64(rep.Queries)
+	return rep
+}
+
+func (r ErrorReport) String() string {
+	return fmt.Sprintf("queries=%d maxErr=%d meanCostRatio=%.4f", r.Queries, r.MaxError, r.MeanCostRatio)
+}

@@ -1,0 +1,140 @@
+package decluster
+
+import (
+	"testing"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+func TestQueryCostForcedAssignment(t *testing.T) {
+	// Both copies of every bucket on disk 0: cost equals the query size.
+	g := grid.New(3)
+	a := &Allocation{Grid: g, Disks: 3, Scheme: "test",
+		copies: [][]int{make([]int, 9), make([]int, 9)}}
+	buckets := []int{0, 1, 2, 3}
+	if got := a.QueryCost(buckets); got != 4 {
+		t.Fatalf("QueryCost = %d, want 4", got)
+	}
+}
+
+func TestQueryCostPerfectSpread(t *testing.T) {
+	// First copy is the identity-ish periodic allocation: an N-bucket row
+	// covers all N disks, so one access suffices.
+	g := grid.New(5)
+	a, err := Periodic(g, 1, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := g.BucketsOf(grid.Range{Row: 0, Col: 0, Rows: 1, Cols: 5})
+	if got := a.QueryCost(row); got != 1 {
+		t.Fatalf("QueryCost(full row) = %d, want 1", got)
+	}
+	if a.QueryCost(nil) != 0 {
+		t.Fatal("empty query should cost 0")
+	}
+}
+
+// TestQueryCostMatchesRetrievalSolver cross-validates the matcher against
+// the max-flow retrieval machinery: on a homogeneous unit-speed system,
+// the optimal response time in blocks equals QueryCost.
+func TestQueryCostMatchesRetrievalSolver(t *testing.T) {
+	// Import cycle prevention: the check lives in the experiment-level
+	// integration test (see internal/integration). Here we validate
+	// QueryCost against a brute-force assignment search on small
+	// instances instead.
+	g := grid.New(4)
+	rng := xrand.New(6)
+	for trial := 0; trial < 40; trial++ {
+		a := RDA(g, 4, 2, rng.Fork())
+		size := 1 + rng.Intn(8)
+		buckets := rng.Sample(g.Buckets(), size)
+		got := a.QueryCost(buckets)
+		want := bruteForceCost(a, buckets)
+		if got != want {
+			t.Fatalf("trial %d: QueryCost = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+// bruteForceCost tries every replica choice (c^|Q| combinations).
+func bruteForceCost(a *Allocation, buckets []int) int {
+	best := len(buckets) + 1
+	counts := make([]int, a.Disks)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(buckets) {
+			m := 0
+			for _, c := range counts {
+				if c > m {
+					m = c
+				}
+			}
+			if m < best {
+				best = m
+			}
+			return
+		}
+		for k := 0; k < a.Copies(); k++ {
+			d := a.Disk(k, buckets[i])
+			counts[d]++
+			rec(i + 1)
+			counts[d]--
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestAdditiveErrorOrthogonalBeatsSingleCopy(t *testing.T) {
+	g := grid.New(8)
+	orth := Orthogonal(g)
+	rep := orth.AdditiveError(0, nil)
+	if rep.Queries != 64 { // all shapes at one corner
+		t.Fatalf("evaluated %d shapes, want 64", rep.Queries)
+	}
+	// Orthogonal replicated declustering keeps the additive error tiny.
+	if rep.MaxError > 1 {
+		t.Errorf("orthogonal max additive error %d, want <= 1", rep.MaxError)
+	}
+	if rep.MeanCostRatio < 1 {
+		t.Errorf("mean cost ratio %f below 1", rep.MeanCostRatio)
+	}
+}
+
+func TestAdditiveErrorRDAIsNearOptimal(t *testing.T) {
+	// [38]: RDA is within 1 of optimal with high probability.
+	g := grid.New(8)
+	a := RDA(g, 8, 2, xrand.New(3))
+	rep := a.AdditiveError(200, xrand.New(4))
+	if rep.Queries != 200 {
+		t.Fatalf("evaluated %d queries", rep.Queries)
+	}
+	withinOne := rep.Histogram[0] + rep.Histogram[1]
+	if frac := float64(withinOne) / float64(rep.Queries); frac < 0.9 {
+		t.Errorf("only %.2f of RDA queries within additive error 1", frac)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestAdditiveErrorReplicatedSchemesNearOptimal(t *testing.T) {
+	// Both replicated schemes should stay within additive error 1 over all
+	// range-query shapes at these sizes. (Dependent periodic is in fact
+	// excellent on range queries — the paper notes its retrieval choices
+	// are the most constrained — despite repeating disk pairs.)
+	g := grid.New(7)
+	for _, tc := range []struct {
+		name string
+		a    *Allocation
+	}{
+		{"orthogonal", Orthogonal(g)},
+		{"dependent", Dependent(g, 2)},
+	} {
+		rep := tc.a.AdditiveError(0, nil)
+		if rep.MaxError > 1 {
+			t.Errorf("%s: max additive error %d, want <= 1", tc.name, rep.MaxError)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package decluster implements the replicated declustering schemes the
+// paper evaluates: Random Duplicate Allocation (RDA), Orthogonal
+// allocation, and Dependent Periodic allocation.
+//
+// An Allocation assigns every bucket of an N x N grid to one disk per copy.
+// Disk indices are site-local (in [0, Disks)); the storage layer maps copy
+// k onto site k's disk array, matching the paper's two-site model where the
+// left grid is the allocation at site 1 and the right grid at site 2.
+package decluster
+
+import (
+	"fmt"
+	"sync"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+// Allocation is a replicated declustering of an N x N grid: for every copy
+// and every bucket, the (site-local) disk storing that replica.
+type Allocation struct {
+	Grid   grid.Grid
+	Disks  int     // disks per copy (per site)
+	Scheme string  // human-readable scheme name
+	copies [][]int // copies[k][bucket] = disk in [0, Disks)
+}
+
+// Copies returns the replication factor c.
+func (a *Allocation) Copies() int { return len(a.copies) }
+
+// Disk returns the disk storing copy k of the given bucket.
+func (a *Allocation) Disk(copy, bucket int) int { return a.copies[copy][bucket] }
+
+// Replicas appends the per-copy disks of bucket to dst and returns it
+// (dst may be nil). Replicas(i)[k] is the site-local disk holding copy k
+// of bucket i.
+func (a *Allocation) Replicas(bucket int, dst []int) []int {
+	for _, c := range a.copies {
+		dst = append(dst, c[bucket])
+	}
+	return dst
+}
+
+// CountsPerDisk returns, for each copy, how many buckets each disk stores.
+func (a *Allocation) CountsPerDisk() [][]int {
+	out := make([][]int, len(a.copies))
+	for k, c := range a.copies {
+		cnt := make([]int, a.Disks)
+		for _, d := range c {
+			cnt[d]++
+		}
+		out[k] = cnt
+	}
+	return out
+}
+
+// Validate checks structural invariants: every replica disk is in range and
+// every copy covers every bucket.
+func (a *Allocation) Validate() error {
+	n2 := a.Grid.Buckets()
+	if len(a.copies) == 0 {
+		return fmt.Errorf("decluster: allocation has no copies")
+	}
+	for k, c := range a.copies {
+		if len(c) != n2 {
+			return fmt.Errorf("decluster: copy %d covers %d of %d buckets", k, len(c), n2)
+		}
+		for b, d := range c {
+			if d < 0 || d >= a.Disks {
+				return fmt.Errorf("decluster: copy %d bucket %d on invalid disk %d", k, b, d)
+			}
+		}
+	}
+	return nil
+}
+
+// PairsUnique reports whether, treating the first two copies of each bucket
+// as an unordered-by-position pair (disk of copy 0, disk of copy 1), every
+// pair occurs at most once. This is the defining property of orthogonal
+// allocations: with N^2 buckets and N^2 possible pairs, each pair appears
+// exactly once.
+func (a *Allocation) PairsUnique() bool {
+	if a.Copies() < 2 {
+		return false
+	}
+	seen := make(map[[2]int]bool, a.Grid.Buckets())
+	for b := 0; b < a.Grid.Buckets(); b++ {
+		p := [2]int{a.copies[0][b], a.copies[1][b]}
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// RDA builds a Random Duplicate Allocation: each copy of each bucket is
+// placed on a disk chosen uniformly at random from that copy's array. With
+// one array per site this matches the paper's RDA usage; replicas of a
+// bucket are automatically on distinct physical disks because each copy
+// lives on its own site.
+func RDA(g grid.Grid, disks, copies int, rng *xrand.Source) *Allocation {
+	if disks <= 0 || copies <= 0 {
+		panic("decluster: RDA needs positive disks and copies")
+	}
+	a := &Allocation{Grid: g, Disks: disks, Scheme: "rda", copies: make([][]int, copies)}
+	for k := range a.copies {
+		c := make([]int, g.Buckets())
+		for b := range c {
+			c[b] = rng.Intn(disks)
+		}
+		a.copies[k] = c
+	}
+	return a
+}
+
+// Periodic builds a dependent periodic allocation with c copies:
+//
+//	f_k(i, j) = (a1*i + a2*j + k*shift) mod N
+//
+// where gcd(a1, N) = gcd(a2, N) = 1 as required by the periodic-scheme
+// definition, and shift in [1, N-1] offsets each successive copy. Disks per
+// copy equals the grid side N.
+func Periodic(g grid.Grid, a1, a2, shift, copies int) (*Allocation, error) {
+	n := g.N()
+	if gcd(a1, n) != 1 || gcd(a2, n) != 1 {
+		return nil, fmt.Errorf("decluster: coefficients (%d,%d) not coprime with N=%d", a1, a2, n)
+	}
+	if copies <= 0 {
+		return nil, fmt.Errorf("decluster: non-positive copies")
+	}
+	if copies > 1 && (shift < 1 || shift > n-1) {
+		return nil, fmt.Errorf("decluster: shift %d outside [1,%d]", shift, n-1)
+	}
+	a := &Allocation{Grid: g, Disks: n, Scheme: "dependent", copies: make([][]int, copies)}
+	for k := range a.copies {
+		c := make([]int, g.Buckets())
+		for b := range c {
+			i, j := g.Coords(b)
+			c[b] = ((a1*i+a2*j)%n + k*shift%n + n) % n
+		}
+		a.copies[k] = c
+	}
+	return a, nil
+}
+
+// Dependent builds the paper's Dependent Periodic allocation: the first
+// copy uses the lowest-additive-error periodic coefficients found by
+// BestPeriodicCoefficients, and the second copy is the first shifted by
+// floor(N/2) (any shift in [1, N-1] is admissible per the definition; the
+// midpoint spreads the copies furthest apart).
+func Dependent(g grid.Grid, copies int) *Allocation {
+	a1, a2 := BestPeriodicCoefficients(g.N())
+	shift := g.N() / 2
+	if shift < 1 {
+		shift = 1
+	}
+	a, err := Periodic(g, a1, a2, shift, copies)
+	if err != nil {
+		panic(err) // BestPeriodicCoefficients guarantees coprimality
+	}
+	return a
+}
+
+// Orthogonal builds a two-copy orthogonal allocation. The first copy is the
+// best periodic allocation (standing in for the threshold-based scheme of
+// the paper's reference [44], whose tables are not public); the second copy
+// is
+//
+//	g(i, j) = (f(i, j) + i) mod N.
+//
+// For every pair (p, q) there is exactly one bucket with f = p and g = q:
+// the row is forced to i = (q - p) mod N, and within that row f(i, j) = p
+// has a unique solution j because gcd(a2, N) = 1. Hence every disk pair
+// appears exactly once — the orthogonality property.
+func Orthogonal(g grid.Grid) *Allocation {
+	n := g.N()
+	a1, a2 := BestPeriodicCoefficients(n)
+	a := &Allocation{Grid: g, Disks: n, Scheme: "orthogonal", copies: make([][]int, 2)}
+	first := make([]int, g.Buckets())
+	second := make([]int, g.Buckets())
+	for b := range first {
+		i, j := g.Coords(b)
+		f := (a1*i + a2*j) % n
+		first[b] = f
+		second[b] = (f + i) % n
+	}
+	a.copies[0] = first
+	a.copies[1] = second
+	return a
+}
+
+// BestPeriodicCoefficients returns (a1, a2) = (1, a2*) where a2* minimizes
+// the single-copy additive error of the periodic allocation
+// f(i,j) = (i + a2*j) mod N over small-to-medium range query shapes
+// (r*c <= 4N; larger queries are within 1 of optimal for any periodic
+// scheme, so small shapes are the discriminating ones). Ties are broken
+// toward the golden-ratio coefficient round(N*(sqrt(5)-1)/2), the known
+// near-optimal choice for periodic declustering.
+func BestPeriodicCoefficients(n int) (int, int) {
+	if n <= 2 {
+		return 1, 1
+	}
+	coeffMu.Lock()
+	if a2, ok := coeffCache[n]; ok {
+		coeffMu.Unlock()
+		return 1, a2
+	}
+	coeffMu.Unlock()
+	golden := goldenCoefficient(n)
+	bestA2, bestErr := golden, additiveError(n, golden)
+	for a2 := 1; a2 < n; a2++ {
+		if gcd(a2, n) != 1 || a2 == golden {
+			continue
+		}
+		if e := additiveError(n, a2); e < bestErr {
+			bestA2, bestErr = a2, e
+		}
+	}
+	coeffMu.Lock()
+	coeffCache[n] = bestA2
+	coeffMu.Unlock()
+	return 1, bestA2
+}
+
+var (
+	coeffMu    sync.Mutex
+	coeffCache = map[int]int{}
+)
+
+// goldenCoefficient returns the coprime coefficient nearest N/phi.
+func goldenCoefficient(n int) int {
+	target := int(float64(n)*0.6180339887498949 + 0.5)
+	for d := 0; d < n; d++ {
+		for _, cand := range []int{target - d, target + d} {
+			if cand >= 1 && cand < n && gcd(cand, n) == 1 {
+				return cand
+			}
+		}
+	}
+	return 1
+}
+
+// additiveError computes the worst additive error of the single-copy
+// periodic allocation f(i,j) = (i + a2*j) mod N over all range query shapes
+// with r*c <= 4N. Periodic allocations are shift-invariant: the disk-count
+// multiset of a query depends only on its shape, so one corner per shape
+// suffices.
+func additiveError(n, a2 int) int {
+	counts := make([]int, n)
+	worst := 0
+	cap4n := 4 * n
+	for r := 1; r <= n; r++ {
+		maxC := cap4n / r
+		if maxC > n {
+			maxC = n
+		}
+		for c := 1; c <= maxC; c++ {
+			for i := range counts {
+				counts[i] = 0
+			}
+			maxCount := 0
+			for i := 0; i < r; i++ {
+				base := i % n
+				for j := 0; j < c; j++ {
+					d := (base + a2*j) % n
+					counts[d]++
+					if counts[d] > maxCount {
+						maxCount = counts[d]
+					}
+				}
+			}
+			opt := (r*c + n - 1) / n
+			if e := maxCount - opt; e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		a = -a
+	}
+	return a
+}

@@ -1,0 +1,244 @@
+package decluster
+
+import (
+	"strings"
+	"testing"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+func TestRDAStructure(t *testing.T) {
+	g := grid.New(10)
+	a := RDA(g, 10, 2, xrand.New(1))
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Copies() != 2 {
+		t.Fatalf("copies = %d", a.Copies())
+	}
+	// Randomness sanity: both copies should use many distinct disks.
+	counts := a.CountsPerDisk()
+	for k, c := range counts {
+		used := 0
+		for _, n := range c {
+			if n > 0 {
+				used++
+			}
+		}
+		if used < 8 {
+			t.Errorf("copy %d uses only %d/10 disks", k, used)
+		}
+	}
+}
+
+func TestRDADeterministicUnderSeed(t *testing.T) {
+	g := grid.New(6)
+	a := RDA(g, 6, 2, xrand.New(42))
+	b := RDA(g, 6, 2, xrand.New(42))
+	for bkt := 0; bkt < g.Buckets(); bkt++ {
+		for k := 0; k < 2; k++ {
+			if a.Disk(k, bkt) != b.Disk(k, bkt) {
+				t.Fatal("same-seed RDA differs")
+			}
+		}
+	}
+}
+
+func TestPeriodicIsBalanced(t *testing.T) {
+	g := grid.New(7)
+	a, err := Periodic(g, 1, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Periodic allocations with coprime coefficients are perfectly
+	// balanced: every disk stores exactly N buckets per copy.
+	for k, c := range a.CountsPerDisk() {
+		for d, n := range c {
+			if n != 7 {
+				t.Errorf("copy %d disk %d stores %d buckets, want 7", k, d, n)
+			}
+		}
+	}
+}
+
+func TestPeriodicRejectsNonCoprime(t *testing.T) {
+	g := grid.New(6)
+	if _, err := Periodic(g, 2, 1, 1, 2); err == nil {
+		t.Error("a1=2, N=6 accepted")
+	}
+	if _, err := Periodic(g, 1, 3, 1, 2); err == nil {
+		t.Error("a2=3, N=6 accepted")
+	}
+}
+
+func TestPeriodicRejectsBadShift(t *testing.T) {
+	g := grid.New(5)
+	if _, err := Periodic(g, 1, 2, 0, 2); err == nil {
+		t.Error("shift 0 accepted for 2 copies")
+	}
+	if _, err := Periodic(g, 1, 2, 5, 2); err == nil {
+		t.Error("shift N accepted")
+	}
+	if _, err := Periodic(g, 1, 2, 0, 1); err != nil {
+		t.Error("single copy should not need a shift")
+	}
+}
+
+func TestDependentCopiesAreShifts(t *testing.T) {
+	g := grid.New(9)
+	a := Dependent(g, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shift := -1
+	for b := 0; b < g.Buckets(); b++ {
+		d := (a.Disk(1, b) - a.Disk(0, b) + 9) % 9
+		if shift < 0 {
+			shift = d
+		} else if d != shift {
+			t.Fatalf("copy 1 is not a uniform shift of copy 0 (%d vs %d)", d, shift)
+		}
+	}
+	if shift == 0 {
+		t.Fatal("copies identical")
+	}
+}
+
+func TestOrthogonalPairsUniqueAcrossSizes(t *testing.T) {
+	for _, n := range []int{4, 5, 7, 10, 16, 25, 30} {
+		g := grid.New(n)
+		a := Orthogonal(g)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if !a.PairsUnique() {
+			t.Errorf("N=%d: orthogonal allocation repeats a disk pair", n)
+		}
+	}
+}
+
+func TestOrthogonalBalanced(t *testing.T) {
+	g := grid.New(11)
+	a := Orthogonal(g)
+	for k, c := range a.CountsPerDisk() {
+		for d, n := range c {
+			if n != 11 {
+				t.Errorf("copy %d disk %d stores %d, want 11", k, d, n)
+			}
+		}
+	}
+}
+
+func TestDependentPairsNotUnique(t *testing.T) {
+	// Dependent periodic allocation repeats pairs (it's a constant shift);
+	// this is exactly why the paper distinguishes it from orthogonal.
+	g := grid.New(8)
+	a := Dependent(g, 2)
+	if a.PairsUnique() {
+		t.Error("dependent allocation unexpectedly orthogonal")
+	}
+}
+
+func TestBestPeriodicCoefficientsCoprime(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 10, 12, 20, 30} {
+		a1, a2 := BestPeriodicCoefficients(n)
+		if gcd(a1, n) != 1 || (n > 1 && gcd(a2, n) != 1) {
+			t.Errorf("N=%d: coefficients (%d,%d) not coprime", n, a1, a2)
+		}
+		if a2 < 1 || (n > 2 && a2 >= n) {
+			t.Errorf("N=%d: a2=%d out of range", n, a2)
+		}
+	}
+}
+
+func TestBestCoefficientBeatsNaive(t *testing.T) {
+	// The searched coefficient should never have a worse additive error
+	// than the naive a2 = 1 diagonal allocation.
+	for _, n := range []int{5, 10, 15, 20} {
+		_, a2 := BestPeriodicCoefficients(n)
+		if best, naive := additiveError(n, a2), additiveError(n, 1); best > naive {
+			t.Errorf("N=%d: best coeff %d has error %d > naive error %d", n, a2, best, naive)
+		}
+	}
+}
+
+func TestCoefficientCache(t *testing.T) {
+	a1, a2 := BestPeriodicCoefficients(13)
+	b1, b2 := BestPeriodicCoefficients(13)
+	if a1 != b1 || a2 != b2 {
+		t.Error("cache returned different coefficients")
+	}
+}
+
+func TestReplicasAccessor(t *testing.T) {
+	g := grid.New(5)
+	a := Orthogonal(g)
+	reps := a.Replicas(7, nil)
+	if len(reps) != 2 {
+		t.Fatalf("replicas = %v", reps)
+	}
+	if reps[0] != a.Disk(0, 7) || reps[1] != a.Disk(1, 7) {
+		t.Error("Replicas disagrees with Disk")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := grid.New(4)
+	a := Orthogonal(g)
+	a.copies[0][3] = 99
+	if err := a.Validate(); err == nil {
+		t.Error("corrupted allocation accepted")
+	}
+	b := Orthogonal(g)
+	b.copies[1] = b.copies[1][:5]
+	if err := b.Validate(); err == nil {
+		t.Error("truncated copy accepted")
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {7, 13, 1}, {0, 5, 5}, {5, 0, 5}, {-4, 6, 2},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := grid.New(3)
+	a, err := Periodic(g, 1, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Render(0)
+	want := "0 1 2\n1 2 0\n2 0 1\n"
+	if got != want {
+		t.Fatalf("Render:\n%s\nwant:\n%s", got, want)
+	}
+	side := a.RenderSideBySide()
+	if !strings.Contains(side, "dependent allocation") || !strings.Contains(side, "|") {
+		t.Errorf("side-by-side missing pieces:\n%s", side)
+	}
+	// Second copy is the first shifted by 1.
+	if !strings.Contains(side, "0 1 2   |   1 2 0") {
+		t.Errorf("unexpected layout:\n%s", side)
+	}
+}
+
+func TestRenderPanicsOnBadCopy(t *testing.T) {
+	g := grid.New(2)
+	a := Orthogonal(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.Render(5)
+}

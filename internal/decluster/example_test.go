@@ -1,0 +1,38 @@
+package decluster_test
+
+import (
+	"fmt"
+
+	"imflow/internal/decluster"
+	"imflow/internal/grid"
+)
+
+// An orthogonal allocation places every (first-copy disk, second-copy
+// disk) pair exactly once, which is what makes its retrieval choices rich.
+func ExampleOrthogonal() {
+	g := grid.New(5)
+	a := decluster.Orthogonal(g)
+	fmt.Println("copies:", a.Copies())
+	fmt.Println("pairs unique:", a.PairsUnique())
+	// Every disk stores exactly N buckets per copy.
+	counts := a.CountsPerDisk()
+	fmt.Println("copy 0 counts:", counts[0])
+	// Output:
+	// copies: 2
+	// pairs unique: true
+	// copy 0 counts: [5 5 5 5 5]
+}
+
+// QueryCost answers "how many parallel accesses does this query need"
+// considering every replica.
+func ExampleAllocation_QueryCost() {
+	g := grid.New(4)
+	a := decluster.Dependent(g, 2)
+	row := g.BucketsOf(grid.Range{Row: 0, Col: 0, Rows: 1, Cols: 4})
+	fmt.Println("full row cost:", a.QueryCost(row))
+	all := g.BucketsOf(grid.Range{Row: 0, Col: 0, Rows: 4, Cols: 4})
+	fmt.Println("whole grid cost:", a.QueryCost(all))
+	// Output:
+	// full row cost: 1
+	// whole grid cost: 4
+}

@@ -1,0 +1,49 @@
+package decluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws one copy of the allocation as the paper's Figure 2 does: an
+// N x N grid where each cell shows the disk storing that bucket's copy.
+func (a *Allocation) Render(copy int) string {
+	if copy < 0 || copy >= a.Copies() {
+		panic(fmt.Sprintf("decluster: copy %d of %d", copy, a.Copies()))
+	}
+	n := a.Grid.N()
+	width := len(fmt.Sprintf("%d", a.Disks-1))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%*d", width, a.copies[copy][a.Grid.ID(i, j)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSideBySide draws every copy next to each other, the layout of the
+// paper's Figure 2 (first copy left, second copy right).
+func (a *Allocation) RenderSideBySide() string {
+	n := a.Grid.N()
+	grids := make([][]string, a.Copies())
+	for k := range grids {
+		grids[k] = strings.Split(strings.TrimRight(a.Render(k), "\n"), "\n")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s allocation, %dx%d grid, %d disks per copy\n", a.Scheme, n, n, a.Disks)
+	for row := 0; row < n; row++ {
+		for k := range grids {
+			if k > 0 {
+				b.WriteString("   |   ")
+			}
+			b.WriteString(grids[k][row])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

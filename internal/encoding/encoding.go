@@ -1,0 +1,127 @@
+// Package encoding provides the JSON wire format for retrieval problems
+// and schedules: what cmd/retrieve speaks, and what a storage controller
+// embedding the library would log or expose. Times travel as float
+// milliseconds (the paper's unit) and are converted to the library's exact
+// integer microseconds at the boundary.
+package encoding
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+// DiskJSON is one disk's parameters in wire form.
+type DiskJSON struct {
+	ServiceMs float64 `json:"service_ms"`
+	DelayMs   float64 `json:"delay_ms,omitempty"`
+	LoadMs    float64 `json:"load_ms,omitempty"`
+}
+
+// ProblemJSON is the wire form of a retrieval problem.
+type ProblemJSON struct {
+	Disks   []DiskJSON `json:"disks"`
+	Buckets [][]int    `json:"buckets"`
+}
+
+// ScheduleJSON is the wire form of a schedule.
+type ScheduleJSON struct {
+	ResponseTimeMs float64 `json:"response_time_ms"`
+	Assignment     []int   `json:"assignment"`
+	Counts         []int64 `json:"counts"`
+}
+
+// EncodeProblem converts a problem to its wire form.
+func EncodeProblem(p *retrieval.Problem) *ProblemJSON {
+	out := &ProblemJSON{
+		Disks:   make([]DiskJSON, len(p.Disks)),
+		Buckets: make([][]int, len(p.Replicas)),
+	}
+	for j, d := range p.Disks {
+		out.Disks[j] = DiskJSON{
+			ServiceMs: d.Service.Millis(),
+			DelayMs:   d.Delay.Millis(),
+			LoadMs:    d.Load.Millis(),
+		}
+	}
+	for i, reps := range p.Replicas {
+		out.Buckets[i] = append([]int(nil), reps...)
+	}
+	return out
+}
+
+// Problem converts the wire form back to a validated problem.
+func (pj *ProblemJSON) Problem() (*retrieval.Problem, error) {
+	p := &retrieval.Problem{
+		Disks:    make([]retrieval.DiskParams, len(pj.Disks)),
+		Replicas: pj.Buckets,
+	}
+	for j, d := range pj.Disks {
+		p.Disks[j] = retrieval.DiskParams{
+			Service: cost.FromMillis(d.ServiceMs),
+			Delay:   cost.FromMillis(d.DelayMs),
+			Load:    cost.FromMillis(d.LoadMs),
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EncodeSchedule converts a schedule to its wire form.
+func EncodeSchedule(s *retrieval.Schedule) *ScheduleJSON {
+	return &ScheduleJSON{
+		ResponseTimeMs: s.ResponseTime.Millis(),
+		Assignment:     append([]int(nil), s.Assignment...),
+		Counts:         append([]int64(nil), s.Counts...),
+	}
+}
+
+// Schedule converts the wire form back to a schedule. numDisks sizes the
+// counts slice if the wire form omitted it.
+func (sj *ScheduleJSON) Schedule(numDisks int) (*retrieval.Schedule, error) {
+	s := &retrieval.Schedule{
+		ResponseTime: cost.FromMillis(sj.ResponseTimeMs),
+		Assignment:   sj.Assignment,
+		Counts:       sj.Counts,
+	}
+	if s.Counts == nil {
+		s.Counts = make([]int64, numDisks)
+		for _, d := range s.Assignment {
+			if d < 0 || d >= numDisks {
+				return nil, fmt.Errorf("encoding: assignment references disk %d of %d", d, numDisks)
+			}
+			s.Counts[d]++
+		}
+	}
+	return s, nil
+}
+
+// ReadProblem decodes one problem from r, rejecting unknown fields.
+func ReadProblem(r io.Reader) (*retrieval.Problem, error) {
+	var pj ProblemJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return pj.Problem()
+}
+
+// WriteProblem encodes a problem to w with indentation.
+func WriteProblem(w io.Writer, p *retrieval.Problem) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeProblem(p))
+}
+
+// WriteSchedule encodes a schedule to w with indentation.
+func WriteSchedule(w io.Writer, s *retrieval.Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeSchedule(s))
+}

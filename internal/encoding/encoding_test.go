@@ -1,0 +1,111 @@
+package encoding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+func sampleProblem() *retrieval.Problem {
+	return &retrieval.Problem{
+		Disks: []retrieval.DiskParams{
+			{Service: cost.FromMillis(6.1), Delay: cost.FromMillis(2), Load: cost.FromMillis(1)},
+			{Service: cost.FromMillis(0.2)},
+		},
+		Replicas: [][]int{{0, 1}, {0}, {1}},
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	p := sampleProblem()
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Disks) != len(p.Disks) {
+		t.Fatal("disk count changed")
+	}
+	for j := range p.Disks {
+		if back.Disks[j] != p.Disks[j] {
+			t.Fatalf("disk %d: %+v != %+v", j, back.Disks[j], p.Disks[j])
+		}
+	}
+	for i := range p.Replicas {
+		for k := range p.Replicas[i] {
+			if back.Replicas[i][k] != p.Replicas[i][k] {
+				t.Fatal("replicas changed")
+			}
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	p := sampleProblem()
+	res, err := retrieval.NewPRBinary().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	sj := EncodeSchedule(res.Schedule)
+	back, err := sj.Schedule(len(p.Disks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateSchedule(back); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func TestScheduleCountsReconstruction(t *testing.T) {
+	sj := &ScheduleJSON{ResponseTimeMs: 6.1, Assignment: []int{1, 0, 1}}
+	s, err := sj.Schedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 2 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	bad := &ScheduleJSON{Assignment: []int{5}}
+	if _, err := bad.Schedule(2); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+func TestReadProblemRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"disks": [], "buckets": [[0]]}`,                              // bucket on unknown disk
+		`{"disks": [{"service_ms": 1}], "buckets": []}`,                // empty query
+		`{"disks": [{"service_ms": 1}], "buckets": [[0]], "extra": 1}`, // unknown field
+		`{"disks": [{"service_ms": -1}], "buckets": [[0]]}`,            // negative service
+		`not json`, //
+	}
+	for _, c := range cases {
+		if _, err := ReadProblem(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestOmitEmpty(t *testing.T) {
+	p := &retrieval.Problem{
+		Disks:    []retrieval.DiskParams{{Service: cost.FromMillis(1)}},
+		Replicas: [][]int{{0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "delay_ms") {
+		t.Error("zero delay serialized")
+	}
+}

@@ -1,0 +1,47 @@
+package encoding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imflow/internal/retrieval"
+)
+
+// FuzzReadProblem feeds arbitrary bytes to the wire-format decoder: it
+// must never panic, and anything it accepts must be a valid, solvable
+// problem that survives a round trip. Run `go test -fuzz=FuzzReadProblem`
+// to explore beyond the seed corpus.
+func FuzzReadProblem(f *testing.F) {
+	f.Add(`{"disks":[{"service_ms":6.1}],"buckets":[[0]]}`)
+	f.Add(`{"disks":[{"service_ms":6.1,"delay_ms":2,"load_ms":1},{"service_ms":0.2}],"buckets":[[0,1],[1]]}`)
+	f.Add(`{"disks":[],"buckets":[]}`)
+	f.Add(`{"disks":[{"service_ms":-1}],"buckets":[[0]]}`)
+	f.Add(`garbage`)
+	f.Add(`{"disks":[{"service_ms":1e308}],"buckets":[[0]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ReadProblem(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted problems must be solvable and round-trippable.
+		// Guard against absurd sizes to keep the fuzzer fast.
+		if len(p.Replicas) > 200 || len(p.Disks) > 200 {
+			return
+		}
+		res, err := retrieval.NewPRBinary().Solve(p)
+		if err != nil {
+			t.Fatalf("accepted problem failed to solve: %v", err)
+		}
+		if err := p.ValidateSchedule(res.Schedule); err != nil {
+			t.Fatalf("invalid schedule from accepted problem: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteProblem(&buf, p); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadProblem(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

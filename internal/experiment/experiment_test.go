@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"testing"
+
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+)
+
+func TestBuildAllCells(t *testing.T) {
+	// Every (experiment, allocation) pair must materialize cleanly.
+	for expNum := 1; expNum <= 5; expNum++ {
+		for _, alloc := range AllKinds {
+			cfg := Config{
+				ExpNum: expNum, Alloc: alloc,
+				Type: query.Range, Load: query.Load3,
+				N: 8, Queries: 5, Seed: 1,
+			}
+			inst, err := cfg.Build()
+			if err != nil {
+				t.Fatalf("%s: %v", cfg, err)
+			}
+			if len(inst.Problems) != 5 {
+				t.Fatalf("%s: %d problems", cfg, len(inst.Problems))
+			}
+			for i, p := range inst.Problems {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s problem %d: %v", cfg, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicasLandOnDistinctSites(t *testing.T) {
+	cfg := Config{ExpNum: 5, Alloc: RDA, Type: query.Arbitrary, Load: query.Load2,
+		N: 6, Queries: 10, Seed: 3}
+	inst, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.N
+	for _, p := range inst.Problems {
+		for i, reps := range p.Replicas {
+			if len(reps) != 2 {
+				t.Fatalf("bucket %d has %d replicas, want 2", i, len(reps))
+			}
+			if reps[0] >= n {
+				t.Fatalf("copy 0 replica %d not on site 1", reps[0])
+			}
+			if reps[1] < n || reps[1] >= 2*n {
+				t.Fatalf("copy 1 replica %d not on site 2", reps[1])
+			}
+		}
+	}
+}
+
+func TestProblemDisksMatchSystem(t *testing.T) {
+	cfg := Config{ExpNum: 2, Alloc: Orthogonal, Type: query.Range, Load: query.Load1,
+		N: 5, Queries: 3, Seed: 9}
+	inst, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range inst.Problems {
+		if len(p.Disks) != inst.System.NumDisks() {
+			t.Fatalf("problem has %d disks, system %d", len(p.Disks), inst.System.NumDisks())
+		}
+		for j, d := range inst.System.Disks {
+			if p.Disks[j].Service != d.Service || p.Disks[j].Delay != d.Delay || p.Disks[j].Load != d.Load {
+				t.Fatalf("disk %d params mismatch", j)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministicUnderSeed(t *testing.T) {
+	cfg := Config{ExpNum: 5, Alloc: RDA, Type: query.Arbitrary, Load: query.Load3,
+		N: 7, Queries: 8, Seed: 42}
+	a, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Problems {
+		pa, pb := a.Problems[i], b.Problems[i]
+		if len(pa.Replicas) != len(pb.Replicas) {
+			t.Fatal("same-seed builds differ in query sizes")
+		}
+		for j := range pa.Replicas {
+			for k := range pa.Replicas[j] {
+				if pa.Replicas[j][k] != pb.Replicas[j][k] {
+					t.Fatal("same-seed builds differ in replicas")
+				}
+			}
+		}
+		for j := range pa.Disks {
+			if pa.Disks[j] != pb.Disks[j] {
+				t.Fatal("same-seed builds differ in disks")
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := []Config{
+		{ExpNum: 9, Alloc: RDA, Type: query.Range, Load: query.Load1, N: 4, Queries: 1},
+		{ExpNum: 1, Alloc: RDA, Type: query.Range, Load: query.Load1, N: 0, Queries: 1},
+		{ExpNum: 1, Alloc: RDA, Type: query.Range, Load: query.Load1, N: 4, Queries: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := cfg.Build(); err == nil {
+			t.Errorf("%s accepted", cfg)
+		}
+	}
+}
+
+func TestExperiment1CellsAreSolvableByFFBasic(t *testing.T) {
+	// Experiment 1 is the basic problem: FFBasic must accept its cells.
+	cfg := Config{ExpNum: 1, Alloc: RDA, Type: query.Range, Load: query.Load3,
+		N: 6, Queries: 5, Seed: 2}
+	inst, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := retrieval.NewFFBasic()
+	opt := retrieval.NewPRBinary()
+	for i, p := range inst.Problems {
+		rb, err := basic.Solve(p)
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		ro, err := opt.Solve(p)
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		if rb.Schedule.ResponseTime != ro.Schedule.ResponseTime {
+			t.Fatalf("problem %d: ff-basic %v != pr-binary %v",
+				i, rb.Schedule.ResponseTime, ro.Schedule.ResponseTime)
+		}
+	}
+}
+
+func TestAllocKindString(t *testing.T) {
+	if RDA.String() != "rda" || Dependent.String() != "dependent" || Orthogonal.String() != "orthogonal" {
+		t.Error("AllocKind.String broken")
+	}
+	if AllocKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,193 @@
+// Package flowgraph provides the residual flow network shared by every
+// max-flow engine in this repository.
+//
+// The representation is the classic paired-arc adjacency list: arc a and
+// arc a^1 are duals (the reverse arc carries the negated flow), so the
+// residual capacity of any arc is Cap[a]-Flow[a] and pushing delta over a
+// is two array writes. Arc indices are stable after AddEdge, which is what
+// lets the integrated retrieval algorithms retune disk-edge capacities
+// between max-flow runs while conserving all previously computed flow.
+package flowgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph is a directed flow network over vertices [0, N).
+//
+// Flow is exported (alongside Cap, To, Next, Head) so that engines — in
+// particular the lock-free parallel push-relabel, which needs atomic access
+// to the flow array — can operate on the raw arrays without indirection.
+type Graph struct {
+	N    int
+	To   []int32 // To[a]: head vertex of arc a
+	Cap  []int64 // Cap[a]: capacity of arc a (0 for reverse arcs initially)
+	Flow []int64 // Flow[a]: current flow; Flow[a^1] == -Flow[a]
+	Next []int32 // Next[a]: next arc out of the same tail, -1 terminates
+	Head []int32 // Head[v]: first arc out of v, -1 if none
+}
+
+// New returns an empty graph over n vertices.
+func New(n int) *Graph {
+	g := &Graph{N: n, Head: make([]int32, n)}
+	for i := range g.Head {
+		g.Head[i] = -1
+	}
+	return g
+}
+
+// Reset removes all arcs but keeps the vertex count, allowing the backing
+// arrays to be reused across queries.
+func (g *Graph) Reset() {
+	g.To = g.To[:0]
+	g.Cap = g.Cap[:0]
+	g.Flow = g.Flow[:0]
+	g.Next = g.Next[:0]
+	for i := range g.Head {
+		g.Head[i] = -1
+	}
+}
+
+// M returns the number of arcs, counting each edge's forward and reverse
+// arc separately.
+func (g *Graph) M() int { return len(g.To) }
+
+// AddEdge adds a directed edge u->v with the given capacity and returns the
+// forward arc's index a; the reverse arc is a^1 (a is always even).
+func (g *Graph) AddEdge(u, v int, capacity int64) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("flowgraph: edge (%d,%d) outside %d vertices", u, v, g.N))
+	}
+	if capacity < 0 {
+		panic("flowgraph: negative capacity")
+	}
+	a := int32(len(g.To))
+	g.To = append(g.To, int32(v), int32(u))
+	g.Cap = append(g.Cap, capacity, 0)
+	g.Flow = append(g.Flow, 0, 0)
+	g.Next = append(g.Next, g.Head[u], g.Head[v])
+	g.Head[u] = a
+	g.Head[v] = a + 1
+	return int(a)
+}
+
+// Residual returns the residual capacity of arc a.
+func (g *Graph) Residual(a int) int64 { return g.Cap[a] - g.Flow[a] }
+
+// Push sends delta units of flow over arc a (and -delta over its dual).
+// It panics if the push exceeds the residual capacity.
+func (g *Graph) Push(a int, delta int64) {
+	if delta > g.Residual(a) {
+		panic(fmt.Sprintf("flowgraph: push %d over arc %d with residual %d", delta, a, g.Residual(a)))
+	}
+	g.Flow[a] += delta
+	g.Flow[a^1] -= delta
+}
+
+// SetCap updates the capacity of arc a. Lowering a capacity below the
+// current flow leaves the graph in a transiently infeasible state; the
+// retrieval algorithms only ever raise capacities (or restore a flow
+// snapshot taken at lower capacities), so this cannot happen there.
+func (g *Graph) SetCap(a int, capacity int64) {
+	if capacity < 0 {
+		panic("flowgraph: negative capacity")
+	}
+	g.Cap[a] = capacity
+}
+
+// ZeroFlows clears all flow, returning the graph to the zero flow.
+func (g *Graph) ZeroFlows() {
+	for i := range g.Flow {
+		g.Flow[i] = 0
+	}
+}
+
+// SnapshotFlows copies the current flow values into dst (reallocating if
+// needed) and returns it. Used by the binary-capacity-scaling algorithm's
+// StoreFlows.
+func (g *Graph) SnapshotFlows(dst []int64) []int64 {
+	if cap(dst) < len(g.Flow) {
+		dst = make([]int64, len(g.Flow))
+	}
+	dst = dst[:len(g.Flow)]
+	copy(dst, g.Flow)
+	return dst
+}
+
+// RestoreFlows overwrites the current flows with a snapshot taken by
+// SnapshotFlows on the same graph.
+func (g *Graph) RestoreFlows(src []int64) {
+	if len(src) != len(g.Flow) {
+		panic("flowgraph: snapshot length mismatch")
+	}
+	copy(g.Flow, src)
+}
+
+// Outflow returns the net flow leaving vertex v: the flow value when v is
+// the source, and minus the flow value when v is the sink.
+func (g *Graph) Outflow(v int) int64 {
+	var sum int64
+	for a := g.Head[v]; a >= 0; a = g.Next[a] {
+		sum += g.Flow[a]
+	}
+	return sum
+}
+
+// FlowValue returns the value of the current flow from s (net outflow of
+// the source).
+func (g *Graph) FlowValue(s int) int64 { return g.Outflow(s) }
+
+// CheckFlow verifies that the current flow is a feasible s-t flow:
+// capacity constraints on every arc, antisymmetry between arc pairs, and
+// conservation at every vertex other than s and t. It returns the flow
+// value on success.
+func (g *Graph) CheckFlow(s, t int) (int64, error) {
+	for a := 0; a < len(g.To); a++ {
+		if g.Flow[a] > g.Cap[a] {
+			return 0, fmt.Errorf("flowgraph: arc %d flow %d exceeds cap %d", a, g.Flow[a], g.Cap[a])
+		}
+		if g.Flow[a] != -g.Flow[a^1] {
+			return 0, fmt.Errorf("flowgraph: arcs %d/%d not antisymmetric (%d vs %d)",
+				a, a^1, g.Flow[a], g.Flow[a^1])
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if v == s || v == t {
+			continue
+		}
+		if out := g.Outflow(v); out != 0 {
+			return 0, fmt.Errorf("flowgraph: vertex %d violates conservation (net outflow %d)", v, out)
+		}
+	}
+	if got, want := g.Outflow(s), -g.Outflow(t); got != want {
+		return 0, fmt.Errorf("flowgraph: source outflow %d != sink inflow %d", got, want)
+	}
+	return g.Outflow(s), nil
+}
+
+// Clone returns a deep copy of the graph, including flows.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		N:    g.N,
+		To:   append([]int32(nil), g.To...),
+		Cap:  append([]int64(nil), g.Cap...),
+		Flow: append([]int64(nil), g.Flow...),
+		Next: append([]int32(nil), g.Next...),
+		Head: append([]int32(nil), g.Head...),
+	}
+	return c
+}
+
+// DOT renders the graph (forward arcs only) in Graphviz format, annotating
+// each edge with flow/capacity. Intended for debugging small networks.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for a := 0; a < len(g.To); a += 2 {
+		u, v := g.To[a^1], g.To[a]
+		fmt.Fprintf(&b, "  %d -> %d [label=\"%d/%d\"];\n", u, v, g.Flow[a], g.Cap[a])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

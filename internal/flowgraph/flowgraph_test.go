@@ -1,0 +1,232 @@
+package flowgraph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"imflow/internal/xrand"
+)
+
+func TestAddEdgeArcPairing(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 5)
+	b := g.AddEdge(1, 2, 7)
+	if a != 0 || b != 2 {
+		t.Fatalf("arc ids %d, %d; want 0, 2", a, b)
+	}
+	if g.To[a] != 1 || g.To[a^1] != 0 {
+		t.Error("arc endpoints wrong")
+	}
+	if g.Cap[a] != 5 || g.Cap[a^1] != 0 {
+		t.Error("reverse arc should have zero capacity")
+	}
+	if g.M() != 4 {
+		t.Errorf("M = %d", g.M())
+	}
+}
+
+func TestPushAndResidual(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 10)
+	g.Push(a, 4)
+	if g.Residual(a) != 6 || g.Residual(a^1) != 4 {
+		t.Errorf("residuals %d, %d", g.Residual(a), g.Residual(a^1))
+	}
+	g.Push(a^1, 3) // push back
+	if g.Residual(a) != 9 || g.Flow[a] != 1 {
+		t.Errorf("after pushback: residual %d flow %d", g.Residual(a), g.Flow[a])
+	}
+}
+
+func TestPushPanicsBeyondResidual(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.Push(a, 3)
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.AddEdge(-1, 1, 1) },
+		func() { g.AddEdge(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdjacencyIteration(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	var targets []int32
+	for a := g.Head[0]; a >= 0; a = g.Next[a] {
+		targets = append(targets, g.To[a])
+	}
+	if len(targets) != 3 {
+		t.Fatalf("vertex 0 has %d arcs, want 3", len(targets))
+	}
+	// Linked-list order is reverse insertion order.
+	if targets[0] != 3 || targets[1] != 2 || targets[2] != 1 {
+		t.Errorf("targets %v", targets)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 5)
+	b := g.AddEdge(1, 2, 5)
+	g.Push(a, 3)
+	g.Push(b, 3)
+	snap := g.SnapshotFlows(nil)
+	g.Push(a, 2)
+	g.RestoreFlows(snap)
+	if g.Flow[a] != 3 || g.Flow[b] != 3 {
+		t.Error("restore did not bring flows back")
+	}
+	// Snapshot into an existing buffer reuses it.
+	snap2 := g.SnapshotFlows(snap)
+	if &snap2[0] != &snap[0] {
+		t.Error("snapshot reallocated unnecessarily")
+	}
+}
+
+func TestZeroFlows(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 5)
+	g.Push(a, 5)
+	g.ZeroFlows()
+	if g.Flow[a] != 0 || g.Flow[a^1] != 0 {
+		t.Error("flows not cleared")
+	}
+}
+
+func TestCheckFlowDetectsViolations(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 5)
+	// Conservation violation at vertex 1.
+	g.Flow[a] = 3
+	g.Flow[a^1] = -3
+	if _, err := g.CheckFlow(0, 2); err == nil || !strings.Contains(err.Error(), "conservation") {
+		t.Errorf("conservation violation not detected: %v", err)
+	}
+	// Capacity violation.
+	g2 := New(2)
+	b := g2.AddEdge(0, 1, 2)
+	g2.Flow[b] = 5
+	g2.Flow[b^1] = -5
+	if _, err := g2.CheckFlow(0, 1); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Errorf("capacity violation not detected: %v", err)
+	}
+	// Antisymmetry violation.
+	g3 := New(2)
+	c := g3.AddEdge(0, 1, 5)
+	g3.Flow[c] = 2
+	if _, err := g3.CheckFlow(0, 1); err == nil || !strings.Contains(err.Error(), "antisymmetric") {
+		t.Errorf("antisymmetry violation not detected: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 5)
+	c := g.Clone()
+	g.Push(a, 5)
+	if c.Flow[a] != 0 {
+		t.Error("clone shares flow storage")
+	}
+	c.AddEdge(0, 1, 1)
+	if g.M() != 2 {
+		t.Error("clone shares arc storage")
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.Reset()
+	if g.M() != 0 {
+		t.Error("arcs survived reset")
+	}
+	for v := 0; v < 3; v++ {
+		if g.Head[v] != -1 {
+			t.Error("head not cleared")
+		}
+	}
+	a := g.AddEdge(1, 2, 3)
+	if a != 0 {
+		t.Error("arc ids not restarted")
+	}
+}
+
+func TestOutflow(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 5)
+	b := g.AddEdge(0, 2, 5)
+	g.Push(a, 2)
+	g.Push(b, 3)
+	if g.Outflow(0) != 5 || g.FlowValue(0) != 5 {
+		t.Errorf("outflow %d", g.Outflow(0))
+	}
+	if g.Outflow(1) != -2 {
+		t.Errorf("outflow(1) = %d", g.Outflow(1))
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 5)
+	g.Push(a, 2)
+	dot := g.DOT("test")
+	for _, want := range []string{"digraph test", "0 -> 1", "2/5"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestPushPullInvariant: any sequence of legal pushes keeps antisymmetry
+// and capacity constraints (property-based).
+func TestPushPullInvariant(t *testing.T) {
+	err := quick.Check(func(seed uint64, opsRaw uint8) bool {
+		rng := xrand.New(seed)
+		g := New(5)
+		var arcs []int
+		for i := 0; i < 8; i++ {
+			arcs = append(arcs, g.AddEdge(rng.Intn(5), rng.Intn(4)+1, int64(rng.Intn(10))+1))
+		}
+		for op := 0; op < int(opsRaw); op++ {
+			a := arcs[rng.Intn(len(arcs))]
+			if rng.Bool() {
+				a ^= 1
+			}
+			if r := g.Residual(a); r > 0 {
+				g.Push(a, int64(rng.Intn(int(r)))+1)
+			}
+		}
+		for a := 0; a < g.M(); a++ {
+			if g.Flow[a] != -g.Flow[a^1] || g.Flow[a] > g.Cap[a] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package grid models the two-dimensional declustered data space of the
+// paper: an N x N wraparound grid of buckets, plus rectangular range
+// queries identified by their top-left corner and extent.
+package grid
+
+import "fmt"
+
+// Grid is an N x N bucket grid. Buckets are identified either by (row, col)
+// coordinates or by a linear ID in [0, N*N).
+type Grid struct {
+	n int
+}
+
+// New returns an N x N grid. N must be positive.
+func New(n int) Grid {
+	if n <= 0 {
+		panic("grid: non-positive size")
+	}
+	return Grid{n: n}
+}
+
+// N returns the grid side length.
+func (g Grid) N() int { return g.n }
+
+// Buckets returns the total number of buckets, N*N.
+func (g Grid) Buckets() int { return g.n * g.n }
+
+// ID maps (row, col) to the linear bucket ID. Coordinates are taken modulo
+// N, implementing the wraparound semantics the paper assumes for range
+// queries on periodic allocations.
+func (g Grid) ID(row, col int) int {
+	r := mod(row, g.n)
+	c := mod(col, g.n)
+	return r*g.n + c
+}
+
+// Coords is the inverse of ID.
+func (g Grid) Coords(id int) (row, col int) {
+	if id < 0 || id >= g.Buckets() {
+		panic(fmt.Sprintf("grid: bucket id %d out of range [0,%d)", id, g.Buckets()))
+	}
+	return id / g.n, id % g.n
+}
+
+// Range is a rectangular (wraparound) range query: Rows x Cols buckets with
+// top-left corner (Row, Col). It matches the paper's (i, j, r, c) notation.
+type Range struct {
+	Row, Col   int // top-left corner, 0 <= Row, Col < N
+	Rows, Cols int // extent, 1 <= Rows, Cols <= N
+}
+
+// Size returns the number of buckets covered by the range.
+func (r Range) Size() int { return r.Rows * r.Cols }
+
+// Validate reports whether the range is well-formed for a grid of side n.
+func (r Range) Validate(n int) error {
+	if r.Row < 0 || r.Row >= n || r.Col < 0 || r.Col >= n {
+		return fmt.Errorf("grid: corner (%d,%d) outside %dx%d grid", r.Row, r.Col, n, n)
+	}
+	if r.Rows < 1 || r.Rows > n || r.Cols < 1 || r.Cols > n {
+		return fmt.Errorf("grid: extent %dx%d outside [1,%d]", r.Rows, r.Cols, n)
+	}
+	return nil
+}
+
+// BucketsOf expands the range into the linear IDs of the buckets it covers,
+// in row-major order, wrapping around the grid edges.
+func (g Grid) BucketsOf(r Range) []int {
+	if err := r.Validate(g.n); err != nil {
+		panic(err)
+	}
+	out := make([]int, 0, r.Size())
+	for dr := 0; dr < r.Rows; dr++ {
+		for dc := 0; dc < r.Cols; dc++ {
+			out = append(out, g.ID(r.Row+dr, r.Col+dc))
+		}
+	}
+	return out
+}
+
+// DistinctRangeCount returns the number of distinct range queries on an
+// N x N grid as counted by the paper: (N*(N+1)/2)^2.
+func DistinctRangeCount(n int) int {
+	h := n * (n + 1) / 2
+	return h * h
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

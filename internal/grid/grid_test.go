@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"imflow/internal/xrand"
+)
+
+func TestIDCoordsRoundTrip(t *testing.T) {
+	g := New(7)
+	for id := 0; id < g.Buckets(); id++ {
+		r, c := g.Coords(id)
+		if got := g.ID(r, c); got != id {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d", id, r, c, got)
+		}
+	}
+}
+
+func TestIDWraparound(t *testing.T) {
+	g := New(5)
+	if g.ID(5, 5) != g.ID(0, 0) {
+		t.Error("(5,5) should wrap to (0,0)")
+	}
+	if g.ID(-1, -1) != g.ID(4, 4) {
+		t.Error("(-1,-1) should wrap to (4,4)")
+	}
+	if g.ID(7, 3) != g.ID(2, 3) {
+		t.Error("(7,3) should wrap to (2,3)")
+	}
+}
+
+func TestCoordsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3).Coords(9)
+}
+
+func TestBucketsOfSizeAndDistinctness(t *testing.T) {
+	g := New(8)
+	rng := xrand.New(1)
+	for trial := 0; trial < 200; trial++ {
+		r := Range{
+			Row: rng.Intn(8), Col: rng.Intn(8),
+			Rows: rng.IntRange(1, 8), Cols: rng.IntRange(1, 8),
+		}
+		ids := g.BucketsOf(r)
+		if len(ids) != r.Size() {
+			t.Fatalf("%+v: %d buckets, want %d", r, len(ids), r.Size())
+		}
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if id < 0 || id >= g.Buckets() || seen[id] {
+				t.Fatalf("%+v: bad or duplicate bucket %d", r, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBucketsOfWrap(t *testing.T) {
+	g := New(3)
+	// 2x2 query at the bottom-right corner wraps both axes.
+	ids := g.BucketsOf(Range{Row: 2, Col: 2, Rows: 2, Cols: 2})
+	want := []int{g.ID(2, 2), g.ID(2, 0), g.ID(0, 2), g.ID(0, 0)}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("wrap expansion %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRangeValidate(t *testing.T) {
+	bad := []Range{
+		{Row: -1, Col: 0, Rows: 1, Cols: 1},
+		{Row: 0, Col: 5, Rows: 1, Cols: 1},
+		{Row: 0, Col: 0, Rows: 0, Cols: 1},
+		{Row: 0, Col: 0, Rows: 1, Cols: 6},
+	}
+	for _, r := range bad {
+		if err := r.Validate(5); err == nil {
+			t.Errorf("%+v accepted", r)
+		}
+	}
+	if err := (Range{Row: 4, Col: 4, Rows: 5, Cols: 5}).Validate(5); err != nil {
+		t.Errorf("full-grid corner query rejected: %v", err)
+	}
+}
+
+func TestDistinctRangeCount(t *testing.T) {
+	// (N*(N+1)/2)^2 per the paper's counting argument.
+	cases := map[int]int{1: 1, 2: 9, 3: 36, 7: 784}
+	for n, want := range cases {
+		if got := DistinctRangeCount(n); got != want {
+			t.Errorf("DistinctRangeCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestModProperty(t *testing.T) {
+	err := quick.Check(func(a int16, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		m := mod(int(a), n)
+		return m >= 0 && m < n && (m-int(a))%n == 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Package maxflow implements the sequential maximum-flow engines used by
+// the retrieval algorithms: DFS Ford-Fulkerson, Edmonds-Karp, Dinic, and a
+// FIFO push-relabel with the exact-height (global relabeling) and gap
+// heuristics of Cherkassky & Goldberg.
+//
+// Every engine runs *from the current flow* of the graph rather than from
+// zero: given a feasible flow it augments it to a maximum flow. That is the
+// property the paper's integrated algorithms exploit — after raising edge
+// capacities, the previous run's flow is still feasible, so the next run
+// only computes the missing flow. A black-box run is simply
+// g.ZeroFlows() followed by Run.
+package maxflow
+
+import "imflow/internal/flowgraph"
+
+// Engine is a maximum-flow solver operating on a shared residual graph.
+// Run augments the graph's current flow to a maximum s-t flow and returns
+// the resulting flow value.
+type Engine interface {
+	Name() string
+	Run(s, t int) int64
+	Metrics() *Metrics
+}
+
+// Metrics counts the elementary operations performed by an engine since it
+// was created (cumulative across Run calls).
+type Metrics struct {
+	Augmentations  int64 // augmenting paths found (path-based engines)
+	Pushes         int64 // push operations (push-relabel engines)
+	Relabels       int64 // relabel operations
+	GlobalRelabels int64 // exact-height recomputations
+	ArcScans       int64 // arcs examined
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other *Metrics) {
+	m.Augmentations += other.Augmentations
+	m.Pushes += other.Pushes
+	m.Relabels += other.Relabels
+	m.GlobalRelabels += other.GlobalRelabels
+	m.ArcScans += other.ArcScans
+}
+
+// inflow returns the net flow into vertex t.
+func inflow(g *flowgraph.Graph, t int) int64 {
+	return -g.Outflow(t)
+}

@@ -1,0 +1,41 @@
+package maxflow
+
+import "imflow/internal/flowgraph"
+
+// MinCut returns the source side of a minimum s-t cut of the graph's
+// *current* flow state: reachable[v] is true iff v is reachable from s in
+// the residual graph. When the current flow is maximum, the arcs from
+// reachable to non-reachable vertices form a minimum cut whose capacity
+// equals the flow value (max-flow/min-cut theorem); the caller is expected
+// to have run an engine first.
+func MinCut(g *flowgraph.Graph, s int) (reachable []bool) {
+	reachable = make([]bool, g.N)
+	reachable[s] = true
+	queue := []int32{int32(s)}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for a := g.Head[v]; a >= 0; a = g.Next[a] {
+			w := g.To[a]
+			if !reachable[w] && g.Residual(int(a)) > 0 {
+				reachable[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reachable
+}
+
+// CutCapacity sums the capacities of the arcs crossing the cut from the
+// reachable side to the rest. For a maximum flow this equals the flow
+// value.
+func CutCapacity(g *flowgraph.Graph, reachable []bool) int64 {
+	var sum int64
+	for a := 0; a < g.M(); a += 2 { // forward arcs only
+		u := g.To[a^1]
+		v := g.To[a]
+		if reachable[u] && !reachable[v] {
+			sum += g.Cap[a]
+		}
+	}
+	return sum
+}

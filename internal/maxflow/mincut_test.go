@@ -1,0 +1,51 @@
+package maxflow
+
+import (
+	"testing"
+
+	"imflow/internal/xrand"
+)
+
+func TestMinCutOnFixedNetwork(t *testing.T) {
+	g, s, snk := buildFixed()
+	NewPushRelabel(g).Run(s, snk)
+	reachable := MinCut(g, s)
+	if !reachable[s] {
+		t.Fatal("source not reachable from itself")
+	}
+	if reachable[snk] {
+		t.Fatal("sink reachable in residual graph of a max flow")
+	}
+	if got := CutCapacity(g, reachable); got != 23 {
+		t.Fatalf("cut capacity %d, want 23", got)
+	}
+}
+
+// TestMaxFlowMinCutTheorem is the classic duality property test: on random
+// graphs, the min-cut capacity derived from the residual reachability of a
+// maximum flow equals the flow value.
+func TestMaxFlowMinCutTheorem(t *testing.T) {
+	rng := xrand.New(2024)
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(25)
+		m := 1 + rng.Intn(4*n)
+		g, s, snk := randomGraph(rng, n, m, 12)
+		flow := NewPushRelabel(g).Run(s, snk)
+		reachable := MinCut(g, s)
+		if reachable[snk] && flow > 0 {
+			t.Fatalf("trial %d: sink residually reachable after max flow", trial)
+		}
+		if cut := CutCapacity(g, reachable); cut != flow {
+			t.Fatalf("trial %d: cut %d != flow %d", trial, cut, flow)
+		}
+	}
+}
+
+func TestMinCutBeforeAnyFlow(t *testing.T) {
+	// With zero flow, everything connected to s is reachable.
+	g, s, snk := buildFixed()
+	reachable := MinCut(g, s)
+	if !reachable[snk] {
+		t.Fatal("sink should be reachable with zero flow")
+	}
+}

@@ -1,0 +1,185 @@
+// Package query generates the workloads of the paper's evaluation: range
+// and arbitrary queries under the three query-load distributions of
+// Section VI-C.
+//
+// A query is simply the set of bucket IDs to retrieve. Loads are defined
+// through p_k, the probability that a query is optimally retrievable in k
+// disk accesses (k = 1..N); given k, the bucket count is uniform in
+// [(k-1)N+1, kN].
+package query
+
+import (
+	"fmt"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+// Type is the geometric class of a query.
+type Type int
+
+const (
+	// Range queries are rectangular (with wraparound), identified by a
+	// corner and an extent.
+	Range Type = iota
+	// Arbitrary queries are any non-empty subset of the buckets.
+	Arbitrary
+)
+
+func (t Type) String() string {
+	switch t {
+	case Range:
+		return "range"
+	case Arbitrary:
+		return "arbitrary"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Load selects one of the paper's three query-size distributions.
+type Load int
+
+const (
+	// Load1 follows the natural distribution of the query type: uniform
+	// over all distinct range queries (smaller sizes more likely, expected
+	// size ~N^2/4), or uniform over all subsets for arbitrary queries
+	// (each bucket kept with probability 1/2, expected size N^2/2).
+	Load1 Load = iota + 1
+	// Load2 draws the optimal access count k uniformly from [1, N]
+	// (p_k = 1/N), expected size N^2/2.
+	Load2
+	// Load3 favours much smaller queries: p_k = 2N / ((2N-1) * 2^k), i.e.
+	// each successive k is half as likely; expected size 3N/2.
+	Load3
+)
+
+func (l Load) String() string { return fmt.Sprintf("load%d", int(l)) }
+
+// Generator produces queries of a fixed type and load on a fixed grid.
+type Generator struct {
+	Grid grid.Grid
+	Type Type
+	Load Load
+
+	kWeights []float64    // Load2/Load3: probability of each k in [1, N]
+	shapes   [][]sizePair // Range+Load2/3: shapes bucketed by k = ceil(rc/N)
+}
+
+type sizePair struct{ r, c int }
+
+// NewGenerator builds a generator. The shape index for range queries under
+// loads 2 and 3 is precomputed once.
+func NewGenerator(g grid.Grid, typ Type, load Load) *Generator {
+	gen := &Generator{Grid: g, Type: typ, Load: load}
+	n := g.N()
+	switch load {
+	case Load1:
+		// no precomputation
+	case Load2, Load3:
+		gen.kWeights = make([]float64, n)
+		if load == Load2 {
+			for i := range gen.kWeights {
+				gen.kWeights[i] = 1.0 / float64(n)
+			}
+		} else {
+			// p_k = 2N / ((2N-1) * 2^k), k = 1..N; successive halving.
+			w := 1.0
+			for i := range gen.kWeights {
+				w /= 2
+				gen.kWeights[i] = w
+			}
+		}
+		if typ == Range {
+			gen.shapes = make([][]sizePair, n+1)
+			for r := 1; r <= n; r++ {
+				for c := 1; c <= n; c++ {
+					k := (r*c + n - 1) / n
+					gen.shapes[k] = append(gen.shapes[k], sizePair{r, c})
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("query: unknown load %d", load))
+	}
+	return gen
+}
+
+// Query draws one query and returns the bucket IDs it covers. The result
+// is never empty.
+func (gen *Generator) Query(rng *xrand.Source) []int {
+	switch gen.Load {
+	case Load1:
+		if gen.Type == Range {
+			return gen.Grid.BucketsOf(gen.randomRange(rng))
+		}
+		return gen.uniformSubset(rng)
+	default:
+		k := 1 + rng.WeightedIndex(gen.kWeights)
+		if gen.Type == Range {
+			return gen.Grid.BucketsOf(gen.rangeForK(k, rng))
+		}
+		n := gen.Grid.N()
+		lo, hi := (k-1)*n+1, k*n
+		if hi > gen.Grid.Buckets() {
+			hi = gen.Grid.Buckets()
+		}
+		if lo > hi {
+			lo = hi
+		}
+		size := rng.IntRange(lo, hi)
+		return rng.Sample(gen.Grid.Buckets(), size)
+	}
+}
+
+// RangeQuery draws one range query (valid only for Type == Range); useful
+// when the caller wants the geometric description rather than the bucket
+// expansion.
+func (gen *Generator) RangeQuery(rng *xrand.Source) grid.Range {
+	if gen.Type != Range {
+		panic("query: RangeQuery on a non-range generator")
+	}
+	if gen.Load == Load1 {
+		return gen.randomRange(rng)
+	}
+	k := 1 + rng.WeightedIndex(gen.kWeights)
+	return gen.rangeForK(k, rng)
+}
+
+// randomRange draws a range query uniformly: corner and extent uniform.
+func (gen *Generator) randomRange(rng *xrand.Source) grid.Range {
+	n := gen.Grid.N()
+	return grid.Range{
+		Row:  rng.Intn(n),
+		Col:  rng.Intn(n),
+		Rows: rng.IntRange(1, n),
+		Cols: rng.IntRange(1, n),
+	}
+}
+
+// rangeForK draws a range query whose size lands in the k-th access band
+// [(k-1)N+1, kN]: a uniform shape from the precomputed band, at a uniform
+// corner. Every band is non-empty (shape r=N, c=k always qualifies).
+func (gen *Generator) rangeForK(k int, rng *xrand.Source) grid.Range {
+	n := gen.Grid.N()
+	band := gen.shapes[k]
+	if len(band) == 0 {
+		panic(fmt.Sprintf("query: empty shape band k=%d for N=%d", k, n))
+	}
+	s := band[rng.Intn(len(band))]
+	return grid.Range{Row: rng.Intn(n), Col: rng.Intn(n), Rows: s.r, Cols: s.c}
+}
+
+// uniformSubset draws a uniformly random non-empty subset of the buckets.
+func (gen *Generator) uniformSubset(rng *xrand.Source) []int {
+	for {
+		var out []int
+		for b := 0; b < gen.Grid.Buckets(); b++ {
+			if rng.Bool() {
+				out = append(out, b)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+}

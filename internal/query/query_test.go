@@ -1,0 +1,204 @@
+package query
+
+import (
+	"testing"
+
+	"imflow/internal/grid"
+	"imflow/internal/xrand"
+)
+
+func allLoads() []Load { return []Load{Load1, Load2, Load3} }
+
+func TestQueriesNeverEmptyAndInRange(t *testing.T) {
+	g := grid.New(12)
+	rng := xrand.New(3)
+	for _, typ := range []Type{Range, Arbitrary} {
+		for _, load := range allLoads() {
+			gen := NewGenerator(g, typ, load)
+			for i := 0; i < 100; i++ {
+				q := gen.Query(rng)
+				if len(q) == 0 {
+					t.Fatalf("%s/%s: empty query", typ, load)
+				}
+				seen := map[int]bool{}
+				for _, b := range q {
+					if b < 0 || b >= g.Buckets() {
+						t.Fatalf("%s/%s: bucket %d out of range", typ, load, b)
+					}
+					if seen[b] {
+						t.Fatalf("%s/%s: duplicate bucket %d", typ, load, b)
+					}
+					seen[b] = true
+				}
+			}
+		}
+	}
+}
+
+func TestRangeQueriesAreRectangles(t *testing.T) {
+	g := grid.New(10)
+	rng := xrand.New(5)
+	for _, load := range allLoads() {
+		gen := NewGenerator(g, Range, load)
+		for i := 0; i < 100; i++ {
+			r := gen.RangeQuery(rng)
+			if err := r.Validate(g.N()); err != nil {
+				t.Fatalf("%s: invalid range %+v: %v", load, r, err)
+			}
+		}
+	}
+}
+
+func TestRangeQueryPanicsOnArbitraryGenerator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(grid.New(4), Arbitrary, Load1).RangeQuery(xrand.New(1))
+}
+
+// TestLoadBandMembership verifies the defining property of loads 2 and 3:
+// once the access count k is drawn, the query size lies in
+// [(k-1)N+1, kN] — i.e. every query size determines k = ceil(|Q|/N).
+func TestLoadBandMembership(t *testing.T) {
+	g := grid.New(15)
+	n := g.N()
+	rng := xrand.New(8)
+	for _, typ := range []Type{Range, Arbitrary} {
+		for _, load := range []Load{Load2, Load3} {
+			gen := NewGenerator(g, typ, load)
+			for i := 0; i < 300; i++ {
+				q := gen.Query(rng)
+				k := (len(q) + n - 1) / n
+				if k < 1 || k > n {
+					t.Fatalf("%s/%s: |Q|=%d implies k=%d outside [1,%d]", typ, load, len(q), k, n)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadSizeExpectations checks the paper's expected query sizes:
+// load 1 ~ N^2/4 (range) and N^2/2 (arbitrary); load 2 ~ N^2/2;
+// load 3 ~ 3N/2.
+func TestLoadSizeExpectations(t *testing.T) {
+	g := grid.New(20)
+	n := g.N()
+	rng := xrand.New(13)
+	const samples = 3000
+	avg := func(typ Type, load Load) float64 {
+		gen := NewGenerator(g, typ, load)
+		total := 0
+		for i := 0; i < samples; i++ {
+			total += len(gen.Query(rng))
+		}
+		return float64(total) / samples
+	}
+	within := func(got, want, tol float64) bool {
+		return got > want*(1-tol) && got < want*(1+tol)
+	}
+	n2 := float64(n * n)
+	if got := avg(Range, Load1); !within(got, n2/4*1.1, 0.25) {
+		// E[r]*E[c] = ((N+1)/2)^2, slightly above N^2/4
+		t.Errorf("range load1 avg %f, want ~%f", got, n2/4)
+	}
+	if got := avg(Arbitrary, Load1); !within(got, n2/2, 0.1) {
+		t.Errorf("arbitrary load1 avg %f, want ~%f", got, n2/2)
+	}
+	if got := avg(Arbitrary, Load2); !within(got, n2/2, 0.15) {
+		t.Errorf("arbitrary load2 avg %f, want ~%f", got, n2/2)
+	}
+	if got := avg(Arbitrary, Load3); !within(got, 3*float64(n)/2, 0.3) {
+		t.Errorf("arbitrary load3 avg %f, want ~%f", got, 3*float64(n)/2)
+	}
+}
+
+// TestLoad3Halving verifies p_k ~ p_{k-1}/2 empirically.
+func TestLoad3Halving(t *testing.T) {
+	g := grid.New(10)
+	n := g.N()
+	rng := xrand.New(21)
+	gen := NewGenerator(g, Arbitrary, Load3)
+	counts := make([]int, n+1)
+	const samples = 40000
+	for i := 0; i < samples; i++ {
+		q := gen.Query(rng)
+		k := (len(q) + n - 1) / n
+		counts[k]++
+	}
+	// k=1 should be ~2x k=2, which should be ~2x k=3.
+	for k := 1; k <= 2; k++ {
+		if counts[k+1] == 0 {
+			t.Fatalf("no samples at k=%d", k+1)
+		}
+		ratio := float64(counts[k]) / float64(counts[k+1])
+		if ratio < 1.6 || ratio > 2.5 {
+			t.Errorf("p_%d/p_%d = %.2f, want ~2", k, k+1, ratio)
+		}
+	}
+}
+
+// TestLoad2Uniform verifies p_k = 1/N across the access-count bands.
+func TestLoad2Uniform(t *testing.T) {
+	g := grid.New(10)
+	n := g.N()
+	rng := xrand.New(34)
+	gen := NewGenerator(g, Arbitrary, Load2)
+	counts := make([]int, n+1)
+	const samples = 30000
+	for i := 0; i < samples; i++ {
+		k := (len(gen.Query(rng)) + n - 1) / n
+		counts[k]++
+	}
+	want := samples / n
+	for k := 1; k <= n; k++ {
+		if counts[k] < want*7/10 || counts[k] > want*13/10 {
+			t.Errorf("k=%d drawn %d times, want ~%d", k, counts[k], want)
+		}
+	}
+}
+
+func TestShapeBandsNonEmpty(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 31} {
+		gen := NewGenerator(grid.New(n), Range, Load2)
+		for k := 1; k <= n; k++ {
+			if len(gen.shapes[k]) == 0 {
+				t.Errorf("N=%d: no range shapes in band k=%d", n, k)
+			}
+			for _, s := range gen.shapes[k] {
+				band := (s.r*s.c + n - 1) / n
+				if band != k {
+					t.Errorf("N=%d: shape %dx%d filed under k=%d, belongs to %d", n, s.r, s.c, k, band)
+				}
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Range.String() != "range" || Arbitrary.String() != "arbitrary" {
+		t.Error("Type.String broken")
+	}
+	if Load1.String() != "load1" || Load3.String() != "load3" {
+		t.Error("Load.String broken")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := grid.New(8)
+	genA := NewGenerator(g, Arbitrary, Load2)
+	genB := NewGenerator(g, Arbitrary, Load2)
+	ra, rb := xrand.New(77), xrand.New(77)
+	for i := 0; i < 50; i++ {
+		qa, qb := genA.Query(ra), genB.Query(rb)
+		if len(qa) != len(qb) {
+			t.Fatal("same-seed generators diverged")
+		}
+		for j := range qa {
+			if qa[j] != qb[j] {
+				t.Fatal("same-seed generators diverged")
+			}
+		}
+	}
+}

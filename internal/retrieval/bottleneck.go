@@ -1,0 +1,98 @@
+package retrieval
+
+import (
+	"sort"
+
+	"imflow/internal/cost"
+	"imflow/internal/maxflow"
+)
+
+// Bottleneck describes why a query's optimal response time is what it is:
+// the disks that gate the last unit of flow, and the buckets confined to
+// them. It is a diagnostic for storage operators ("which disks or replica
+// placements should change to make this query class faster"), not part of
+// the scheduling fast path.
+type Bottleneck struct {
+	// Disks lists the global IDs of the binding disks: disks whose sink
+	// capacity is exhausted at the largest candidate threshold below the
+	// optimum and grows at the optimum — i.e. the disks whose next block
+	// completion defines the response time.
+	Disks []int
+	// Buckets lists the query bucket indices all of whose replicas lie on
+	// binding disks; these are the buckets that force the response time.
+	Buckets []int
+	// ResponseTime is the optimal response time the bottleneck explains.
+	ResponseTime cost.Micros
+}
+
+// ExplainBottleneck solves the problem and derives its bottleneck. The
+// max-flow state one cost threshold below the optimum is recomputed; a
+// disk binds if its sink arc is saturated there and its capacity rises at
+// the optimum (if its capacity is already at its replica count, more speed
+// cannot help and it is excluded).
+func ExplainBottleneck(p *Problem) (*Bottleneck, *Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	res, err := NewPRBinary().Solve(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := res.Schedule.ResponseTime
+
+	net := buildNetwork(p)
+	cands := net.candidateTimes()
+	idx := sort.Search(len(cands), func(i int) bool { return cands[i] >= opt })
+	b := &Bottleneck{ResponseTime: opt}
+	if idx == 0 {
+		// The optimum is the smallest candidate: every participating disk
+		// binds in the degenerate sense.
+		for i := range p.Replicas {
+			b.Buckets = append(b.Buckets, i)
+		}
+		b.Disks = append(b.Disks, net.diskIDs...)
+		sort.Ints(b.Disks)
+		return b, res.Schedule, nil
+	}
+	below := cands[idx-1]
+	net.capsForTime(below)
+	engine := maxflow.NewPushRelabel(net.g)
+	engine.Run(net.s, net.t)
+
+	for k := range net.diskIDs {
+		saturated := net.g.Residual(net.diskArc[k]) == 0
+		dp := net.params[k]
+		capBelow := cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, below, net.inDeg[k])
+		capOpt := cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, opt, net.inDeg[k])
+		if saturated && capOpt > capBelow {
+			b.Disks = append(b.Disks, net.diskIDs[k])
+		}
+	}
+	if len(b.Disks) == 0 {
+		// Purely structural bottleneck (capacities clamped by replica
+		// counts): fall back to every saturated disk.
+		for k := range net.diskIDs {
+			if net.g.Residual(net.diskArc[k]) == 0 {
+				b.Disks = append(b.Disks, net.diskIDs[k])
+			}
+		}
+	}
+	sort.Ints(b.Disks)
+	binding := make(map[int]bool, len(b.Disks))
+	for _, d := range b.Disks {
+		binding[d] = true
+	}
+	for i, reps := range p.Replicas {
+		all := true
+		for _, d := range reps {
+			if !binding[d] {
+				all = false
+				break
+			}
+		}
+		if all {
+			b.Buckets = append(b.Buckets, i)
+		}
+	}
+	return b, res.Schedule, nil
+}

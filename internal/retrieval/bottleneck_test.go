@@ -1,0 +1,150 @@
+package retrieval
+
+import (
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/xrand"
+)
+
+func TestExplainBottleneckForcedDisk(t *testing.T) {
+	// All buckets confined to slow disk 0; disk 1 is fast but empty.
+	p := &Problem{
+		Disks: []DiskParams{
+			{Service: cost.FromMillis(10)},
+			{Service: cost.FromMillis(1)},
+		},
+		Replicas: [][]int{{0}, {0}, {0}},
+	}
+	b, sched, err := ExplainBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.ResponseTime != cost.FromMillis(30) {
+		t.Fatalf("response %v", sched.ResponseTime)
+	}
+	if len(b.Disks) != 1 || b.Disks[0] != 0 {
+		t.Fatalf("binding disks %v, want [0]", b.Disks)
+	}
+	if len(b.Buckets) != 3 {
+		t.Fatalf("binding buckets %v, want all three", b.Buckets)
+	}
+}
+
+func TestExplainBottleneckSlackDiskExcluded(t *testing.T) {
+	// Bucket 0 can go to either disk; buckets 1-3 are stuck on disk 0.
+	// Optimal: disk 0 serves its three forced buckets (30ms); disk 1
+	// serves bucket 0 (1ms) and has slack — it must not be reported.
+	p := &Problem{
+		Disks: []DiskParams{
+			{Service: cost.FromMillis(10)},
+			{Service: cost.FromMillis(1)},
+		},
+		Replicas: [][]int{{0, 1}, {0}, {0}, {0}},
+	}
+	b, sched, err := ExplainBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.ResponseTime != cost.FromMillis(30) {
+		t.Fatalf("response %v", sched.ResponseTime)
+	}
+	if len(b.Disks) != 1 || b.Disks[0] != 0 {
+		t.Fatalf("binding disks %v, want [0]", b.Disks)
+	}
+	for _, i := range b.Buckets {
+		if i == 0 {
+			t.Fatal("bucket 0 has a slack replica and should not bind")
+		}
+	}
+	if len(b.Buckets) != 3 {
+		t.Fatalf("binding buckets %v", b.Buckets)
+	}
+}
+
+func TestExplainBottleneckDegenerateSingleCandidate(t *testing.T) {
+	// One bucket, one disk: the optimum is the smallest candidate.
+	p := &Problem{
+		Disks:    []DiskParams{{Service: cost.FromMillis(5)}},
+		Replicas: [][]int{{0}},
+	}
+	b, sched, err := ExplainBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.ResponseTime != cost.FromMillis(5) {
+		t.Fatalf("response %v", sched.ResponseTime)
+	}
+	if len(b.Disks) != 1 || len(b.Buckets) != 1 {
+		t.Fatalf("degenerate bottleneck %+v", b)
+	}
+}
+
+// TestExplainBottleneckConsistency: on random problems, the bottleneck is
+// non-empty, its reported buckets are exactly the buckets confined to
+// binding disks, the reported response time matches the solver's, and the
+// schedule it returns validates. (The precise membership of the binding
+// set depends on which maximum flow the engine found below the optimum —
+// min cuts are not unique — so the test checks the definitional
+// properties rather than one particular cut.)
+func TestExplainBottleneckConsistency(t *testing.T) {
+	rng := xrand.New(64)
+	solver := NewPRBinary()
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(rng, 8, 30, 2)
+		b, sched, err := ExplainBottleneck(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Disks) == 0 {
+			t.Fatalf("trial %d: empty bottleneck", trial)
+		}
+		if err := p.ValidateSchedule(sched); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := solver.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ResponseTime != want.Schedule.ResponseTime {
+			t.Fatalf("trial %d: bottleneck response %v, solver %v",
+				trial, b.ResponseTime, want.Schedule.ResponseTime)
+		}
+		binding := map[int]bool{}
+		for _, d := range b.Disks {
+			binding[d] = true
+		}
+		inReported := map[int]bool{}
+		for _, i := range b.Buckets {
+			inReported[i] = true
+		}
+		for i, reps := range p.Replicas {
+			confined := true
+			for _, d := range reps {
+				if !binding[d] {
+					confined = false
+					break
+				}
+			}
+			if confined != inReported[i] {
+				t.Fatalf("trial %d: bucket %d confinement %v but reported %v",
+					trial, i, confined, inReported[i])
+			}
+		}
+		// Monotonicity: speeding up the binding disks can never hurt.
+		p2 := &Problem{Disks: append([]DiskParams(nil), p.Disks...), Replicas: p.Replicas}
+		for _, d := range b.Disks {
+			p2.Disks[d].Service = (p2.Disks[d].Service + 1) / 2
+			p2.Disks[d].Delay /= 2
+			p2.Disks[d].Load /= 2
+		}
+		res2, err := solver.Solve(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Schedule.ResponseTime > sched.ResponseTime {
+			t.Fatalf("trial %d: speeding up binding disks raised the response (%v -> %v)",
+				trial, sched.ResponseTime, res2.Schedule.ResponseTime)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package retrieval
+
+import "testing"
+
+// FuzzSolverConsensus derives a problem from the fuzzed seed material and
+// requires every optimal solver to agree with the oracle. The quick-check
+// property tests cover random seeds; the fuzzer additionally mutates
+// toward interesting shapes. Run with `go test -fuzz=FuzzSolverConsensus`.
+func FuzzSolverConsensus(f *testing.F) {
+	f.Add(uint64(1), uint8(2))
+	f.Add(uint64(42), uint8(1))
+	f.Add(uint64(7777), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, extremeRaw uint8) {
+		p := problemFromSeed(seed, extremeRaw%2 == 0)
+		want, err := NewOracle().Solve(p)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		for _, s := range []Solver{NewFFIncremental(), NewPRBinary(), NewPRBinaryBlackBox()} {
+			got, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if err := p.ValidateSchedule(got.Schedule); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if got.Schedule.ResponseTime != want.Schedule.ResponseTime {
+				t.Fatalf("%s: %v, oracle %v", s.Name(), got.Schedule.ResponseTime, want.Schedule.ResponseTime)
+			}
+		}
+	})
+}

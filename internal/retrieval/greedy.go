@@ -1,0 +1,49 @@
+package retrieval
+
+import "sort"
+
+// Greedy is a heuristic (non-optimal) scheduler included as a baseline: it
+// processes buckets in order of increasing replica count (most constrained
+// first) and assigns each to the replica whose completion time after the
+// assignment is smallest. It is O(|Q| log |Q| + c*|Q|) — far cheaper than
+// any max-flow solver — but its schedules can be arbitrarily worse than
+// optimal; the examples and benchmarks use it to show what the optimal
+// algorithms buy.
+type Greedy struct{}
+
+// NewGreedy returns the heuristic baseline scheduler.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Solver.
+func (*Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver. The returned schedule is feasible but not
+// necessarily optimal.
+func (*Greedy) Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(p.Replicas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(p.Replicas[order[a]]) < len(p.Replicas[order[b]])
+	})
+	counts := make([]int64, len(p.Disks))
+	assignment := make([]int, len(p.Replicas))
+	for _, i := range order {
+		best, bestDisk := int64(0), -1
+		for _, d := range p.Replicas[i] {
+			finish := int64(p.Disks[d].Finish(counts[d] + 1))
+			if bestDisk < 0 || finish < best {
+				best, bestDisk = finish, d
+			}
+		}
+		assignment[i] = bestDisk
+		counts[bestDisk]++
+	}
+	s := &Schedule{Assignment: assignment, Counts: counts}
+	s.ResponseTime = p.Makespan(assignment)
+	return &Result{Schedule: s, Stats: Stats{Engine: "greedy"}}, nil
+}

@@ -1,0 +1,82 @@
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+
+	"imflow/internal/maxflow"
+)
+
+// Oracle is the reference solver used for cross-validation: it enumerates
+// every candidate completion time D_j + X_j + k*C_j, binary-searches the
+// sorted candidates for the smallest feasible one, and answers each
+// feasibility question with a from-scratch Edmonds-Karp run. It is the
+// most obviously-correct construction (feasibility is monotone in t and
+// the optimum is always a candidate), and deliberately shares no code path
+// with the integrated algorithms it validates.
+type Oracle struct{}
+
+// NewOracle returns the reference solver.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements Solver.
+func (*Oracle) Name() string { return "oracle" }
+
+// Solve implements Solver.
+func (*Oracle) Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net := buildNetwork(p)
+	engine := maxflow.NewEdmondsKarp(net.g)
+	res := &Result{Stats: Stats{Engine: engine.Name()}}
+	target := int64(net.q)
+	cands := net.candidateTimes()
+
+	feasible := func(i int) bool {
+		net.capsForTime(cands[i])
+		net.g.ZeroFlows()
+		res.Stats.MaxflowRuns++
+		return engine.Run(net.s, net.t) == target
+	}
+	// sort.Search finds the smallest index whose candidate is feasible;
+	// feasibility is monotone in t because capacities are.
+	idx := sort.Search(len(cands), feasible)
+	if idx == len(cands) {
+		return nil, fmt.Errorf("retrieval: no feasible candidate time (malformed problem?)")
+	}
+	// Re-establish the optimal flow state (the last probe may have been an
+	// infeasible candidate).
+	net.capsForTime(cands[idx])
+	net.g.ZeroFlows()
+	if got := engine.Run(net.s, net.t); got != target {
+		return nil, fmt.Errorf("retrieval: oracle re-run got flow %d, want %d", got, target)
+	}
+	res.Stats.Flow = *engine.Metrics()
+	sched, err := net.extractSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	if sched.ResponseTime != cands[idx] {
+		return nil, fmt.Errorf("retrieval: oracle schedule makespan %v != optimal candidate %v",
+			sched.ResponseTime, cands[idx])
+	}
+	res.Schedule = sched
+	return res, nil
+}
+
+// Solvers returns every generalized-problem solver in the repository,
+// keyed by name: the integrated algorithms, the black-box baseline, the
+// parallel variant (with the given thread count), and the oracle. FFBasic
+// is omitted because it only accepts homogeneous instances; construct it
+// explicitly where the basic problem is intended.
+func Solvers(threads int) map[string]Solver {
+	return map[string]Solver{
+		"ff-incremental":     NewFFIncremental(),
+		"pr-incremental":     NewPRIncremental(),
+		"pr-binary":          NewPRBinary(),
+		"pr-binary-blackbox": NewPRBinaryBlackBox(),
+		"pr-binary-parallel": NewPRBinaryParallel(threads),
+		"oracle":             NewOracle(),
+	}
+}

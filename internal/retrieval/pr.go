@@ -1,0 +1,245 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"imflow/internal/cost"
+	"imflow/internal/flowgraph"
+	"imflow/internal/maxflow"
+	"imflow/internal/maxflow/parallel"
+)
+
+// EngineFactory builds a max-flow engine bound to a network's graph. The
+// push-relabel solvers are parameterized over it so the sequential FIFO
+// engine and the lock-free parallel engine share all retrieval logic.
+type EngineFactory func(*flowgraph.Graph) maxflow.Engine
+
+// SequentialEngine builds the FIFO push-relabel engine with the exact
+// height and gap heuristics (Algorithm 4's implementation).
+func SequentialEngine(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewPushRelabel(g) }
+
+// HighestLabelEngine builds the highest-label push-relabel variant — an
+// ablation point over the paper's FIFO vertex-selection rule.
+func HighestLabelEngine(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewHighestLabel(g) }
+
+// ParallelEngine builds the lock-free multithreaded push-relabel engine of
+// Section V with the given worker count.
+func ParallelEngine(threads int) EngineFactory {
+	return func(g *flowgraph.Graph) maxflow.Engine { return parallel.New(g, threads) }
+}
+
+// PRIncremental is Algorithm 5: the integrated push-relabel solution that
+// starts all disk-edge capacities at zero and alternates IncrementMinCost
+// steps with push-relabel runs, conserving the flow between runs. Its
+// worst case is O(c*|Q|^4) but the flow conservation makes each run cheap
+// in practice.
+type PRIncremental struct {
+	factory EngineFactory
+}
+
+// NewPRIncremental returns the Algorithm 5 solver with the sequential
+// engine.
+func NewPRIncremental() *PRIncremental {
+	return &PRIncremental{factory: SequentialEngine}
+}
+
+// Name implements Solver.
+func (*PRIncremental) Name() string { return "pr-incremental" }
+
+// Solve implements Solver.
+func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net := buildNetwork(p)
+	engine := s.factory(net.g)
+	res := &Result{Stats: Stats{Engine: engine.Name()}}
+	st := newIncrementState(net)
+	target := int64(net.q)
+	var flow int64
+	for flow < target {
+		if st.incrementMinCost(net) == cost.Max {
+			return nil, fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+		}
+		res.Stats.Increments++
+		flow = engine.Run(net.s, net.t)
+		res.Stats.MaxflowRuns++
+	}
+	res.Stats.Flow = *engine.Metrics()
+	sched, err := net.extractSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule = sched
+	return res, nil
+}
+
+// PRBinary is Algorithm 6: the integrated push-relabel solver with binary
+// capacity scaling. A binary search over candidate response times
+// [tmin, tmax) brings the capacities within N increments of the optimum in
+// O(log |Q|) max-flow runs; flows computed at infeasible midpoints are
+// stored and conserved (they remain valid when capacities grow), while
+// flows computed at feasible midpoints are rolled back (the optimum may be
+// lower). The final stretch runs Algorithm 5 from tmin's capacities.
+//
+// With Conserve = false every max-flow run starts from the zero flow — the
+// black-box algorithm of the paper's reference [12], kept as the baseline
+// the integrated solver is measured against.
+type PRBinary struct {
+	name     string
+	factory  EngineFactory
+	conserve bool
+}
+
+// NewPRBinary returns the integrated Algorithm 6 solver (sequential
+// engine, flow conservation on).
+func NewPRBinary() *PRBinary {
+	return &PRBinary{name: "pr-binary", factory: SequentialEngine, conserve: true}
+}
+
+// NewPRBinaryBlackBox returns the black-box baseline of [12]: identical
+// control flow, but every max-flow run starts from zero flow.
+func NewPRBinaryBlackBox() *PRBinary {
+	return &PRBinary{name: "pr-binary-blackbox", factory: SequentialEngine, conserve: false}
+}
+
+// NewPRBinaryHighestLabel returns the integrated Algorithm 6 solver backed
+// by the highest-label push-relabel engine instead of FIFO — used to
+// ablate the paper's vertex-selection choice.
+func NewPRBinaryHighestLabel() *PRBinary {
+	return &PRBinary{name: "pr-binary-highest", factory: HighestLabelEngine, conserve: true}
+}
+
+// NewPRBinaryParallel returns the integrated Algorithm 6 solver backed by
+// the lock-free parallel push-relabel engine of Section V.
+func NewPRBinaryParallel(threads int) *PRBinary {
+	return &PRBinary{
+		name:     fmt.Sprintf("pr-binary-parallel(%d)", threads),
+		factory:  ParallelEngine(threads),
+		conserve: true,
+	}
+}
+
+// Name implements Solver.
+func (s *PRBinary) Name() string { return s.name }
+
+// Solve implements Solver.
+func (s *PRBinary) Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	net := buildNetwork(p)
+	engine := s.factory(net.g)
+	res := &Result{Stats: Stats{Engine: engine.Name()}}
+	target := int64(net.q)
+
+	// Bracket the optimum: tmax assumes every bucket is retrieved from the
+	// disk with the largest retrieval cost (all capacities reach |Q|, so
+	// tmax is feasible); tmin assumes the theoretical lower bound |Q|/N on
+	// the cheapest disk, minus one block of the fastest disk. We
+	// additionally clamp tmin below the fastest single-block completion
+	// time, which makes its infeasibility unconditional (any schedule
+	// retrieves at least one block from some disk).
+	minSpeed := cost.Max
+	tmin := cost.Max
+	var tmax cost.Micros
+	nTotal := int64(len(p.Disks))
+	for _, dp := range net.params {
+		if up := dp.Finish(target); up > tmax {
+			tmax = up
+		}
+		if lo := dp.Delay + dp.Load + cost.Micros(target)*dp.Service/cost.Micros(nTotal); lo < tmin {
+			tmin = lo
+		}
+		if dp.Service < minSpeed {
+			minSpeed = dp.Service
+		}
+	}
+	tmin -= minSpeed
+	if single := minSingleBlock(net) - minSpeed; single < tmin {
+		tmin = single
+	}
+	if tmin < 0 {
+		tmin = 0
+	}
+
+	var saved []int64
+	if s.conserve {
+		saved = net.g.SnapshotFlows(nil) // all-zero snapshot
+	}
+	// The paper loops while (tmax - tmin) >= minSpeed over reals; with
+	// integer microseconds that admits a no-progress iteration when the
+	// bracket narrows to exactly minSpeed = 1us (tmid == tmin), so the
+	// strict comparison is required. The final incremental stretch closes
+	// any remaining gap either way.
+	for tmax-tmin > minSpeed {
+		tmid := tmin + (tmax-tmin)/2
+		net.capsForTime(tmid)
+		if !s.conserve {
+			net.g.ZeroFlows()
+		}
+		flow := engine.Run(net.s, net.t)
+		res.Stats.MaxflowRuns++
+		res.Stats.BinarySteps++
+		if flow != target {
+			// Infeasible: keep (store) these flows — they stay valid at
+			// every larger capacity setting — and raise the floor.
+			if s.conserve {
+				saved = net.g.SnapshotFlows(saved)
+			}
+			tmin = tmid
+		} else {
+			// Feasible: the optimum may be lower, so roll back to the last
+			// infeasible flow state and lower the ceiling.
+			if s.conserve {
+				net.g.RestoreFlows(saved)
+			}
+			tmax = tmid
+		}
+	}
+
+	// Final stretch: Algorithm 5 from tmin's capacities. At most N more
+	// increments separate tmin from the optimum.
+	if s.conserve {
+		net.g.RestoreFlows(saved)
+	} else {
+		net.g.ZeroFlows()
+	}
+	net.capsForTime(tmin)
+	st := newIncrementState(net)
+	if !s.conserve {
+		net.g.ZeroFlows()
+	}
+	flow := engine.Run(net.s, net.t)
+	res.Stats.MaxflowRuns++
+	for flow < target {
+		if st.incrementMinCost(net) == cost.Max {
+			return nil, fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+		}
+		res.Stats.Increments++
+		if !s.conserve {
+			net.g.ZeroFlows()
+		}
+		flow = engine.Run(net.s, net.t)
+		res.Stats.MaxflowRuns++
+	}
+	res.Stats.Flow = *engine.Metrics()
+	sched, err := net.extractSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule = sched
+	return res, nil
+}
+
+// minSingleBlock returns the fastest possible single-block completion time
+// over the participating disks.
+func minSingleBlock(net *network) cost.Micros {
+	best := cost.Max
+	for _, dp := range net.params {
+		if f := dp.Finish(1); f < best {
+			best = f
+		}
+	}
+	return best
+}

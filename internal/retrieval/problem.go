@@ -1,0 +1,346 @@
+// Package retrieval implements the paper's contribution: optimal response
+// time retrieval of replicated data, solved with integrated maximum-flow
+// algorithms that conserve flow across the capacity adjustments of the
+// search (Algorithms 1-6 of the paper), plus the black-box baselines of
+// the prior work they are compared against.
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+
+	"imflow/internal/cost"
+	"imflow/internal/flowgraph"
+	"imflow/internal/maxflow"
+)
+
+// DiskParams are the per-disk scheduling parameters of Table I: C_j (the
+// average retrieval cost of a single bucket), D_j (the network delay to the
+// disk's site), and X_j (the time until the disk becomes idle).
+type DiskParams struct {
+	Service cost.Micros // C_j, must be positive
+	Delay   cost.Micros // D_j
+	Load    cost.Micros // X_j
+}
+
+// Finish returns the completion time of this disk retrieving k blocks.
+func (d DiskParams) Finish(k int64) cost.Micros {
+	return cost.DiskFinish(d.Delay, d.Load, d.Service, k)
+}
+
+// Problem is one instance of the generalized optimal response time
+// retrieval problem: a query (one replica list per requested bucket) over a
+// system of disks.
+type Problem struct {
+	// Disks holds the parameters of every disk in the system, indexed by
+	// global disk ID.
+	Disks []DiskParams
+	// Replicas[i] lists the disks storing a copy of the i-th requested
+	// bucket. Every bucket must have at least one replica.
+	Replicas [][]int
+}
+
+// QuerySize returns |Q|, the number of requested buckets.
+func (p *Problem) QuerySize() int { return len(p.Replicas) }
+
+// Validate checks that the problem is well-formed.
+func (p *Problem) Validate() error {
+	if len(p.Replicas) == 0 {
+		return fmt.Errorf("retrieval: empty query")
+	}
+	for j, d := range p.Disks {
+		if d.Service <= 0 {
+			return fmt.Errorf("retrieval: disk %d has non-positive service time", j)
+		}
+		if d.Delay < 0 || d.Load < 0 {
+			return fmt.Errorf("retrieval: disk %d has negative delay or load", j)
+		}
+	}
+	for i, reps := range p.Replicas {
+		if len(reps) == 0 {
+			return fmt.Errorf("retrieval: bucket %d has no replicas", i)
+		}
+		seen := map[int]bool{}
+		for _, d := range reps {
+			if d < 0 || d >= len(p.Disks) {
+				return fmt.Errorf("retrieval: bucket %d replica on unknown disk %d", i, d)
+			}
+			if seen[d] {
+				return fmt.Errorf("retrieval: bucket %d lists disk %d twice", i, d)
+			}
+			seen[d] = true
+		}
+	}
+	return nil
+}
+
+// Schedule is a retrieval decision: which replica serves each bucket.
+type Schedule struct {
+	// Assignment[i] is the global disk ID serving bucket i of the query.
+	Assignment []int
+	// Counts[j] is the number of buckets assigned to global disk j.
+	Counts []int64
+	// ResponseTime is the query's response time under this schedule:
+	// max_j Finish_j(Counts[j]) over disks with Counts[j] > 0.
+	ResponseTime cost.Micros
+}
+
+// Makespan recomputes the response time of an assignment from scratch.
+func (p *Problem) Makespan(assignment []int) cost.Micros {
+	counts := make([]int64, len(p.Disks))
+	for _, d := range assignment {
+		counts[d]++
+	}
+	var worst cost.Micros
+	for j, k := range counts {
+		if k == 0 {
+			continue
+		}
+		if f := p.Disks[j].Finish(k); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// ValidateSchedule checks that a schedule solves the problem: every bucket
+// is assigned to one of its replicas, the per-disk counts match, and the
+// recorded response time equals the recomputed makespan.
+func (p *Problem) ValidateSchedule(s *Schedule) error {
+	if len(s.Assignment) != len(p.Replicas) {
+		return fmt.Errorf("retrieval: schedule covers %d of %d buckets", len(s.Assignment), len(p.Replicas))
+	}
+	counts := make([]int64, len(p.Disks))
+	for i, d := range s.Assignment {
+		ok := false
+		for _, r := range p.Replicas[i] {
+			if r == d {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("retrieval: bucket %d assigned to non-replica disk %d", i, d)
+		}
+		counts[d]++
+	}
+	for j := range counts {
+		if counts[j] != s.Counts[j] {
+			return fmt.Errorf("retrieval: disk %d count %d, schedule says %d", j, counts[j], s.Counts[j])
+		}
+	}
+	if got := p.Makespan(s.Assignment); got != s.ResponseTime {
+		return fmt.Errorf("retrieval: recorded response time %v, recomputed %v", s.ResponseTime, got)
+	}
+	return nil
+}
+
+// Stats reports the work a solver performed for one Solve call.
+type Stats struct {
+	Engine      string          // underlying max-flow engine
+	MaxflowRuns int             // complete max-flow invocations
+	Increments  int             // IncrementMinCost steps
+	BinarySteps int             // binary capacity-scaling iterations
+	Flow        maxflow.Metrics // elementary operation counts
+}
+
+// Result bundles a solver's output.
+type Result struct {
+	Schedule *Schedule
+	Stats    Stats
+}
+
+// Solver computes an optimal response time schedule for a problem.
+type Solver interface {
+	Name() string
+	Solve(p *Problem) (*Result, error)
+}
+
+// network is the max-flow representation of a problem (Figures 3-4 of the
+// paper): source -> one vertex per bucket -> one vertex per participating
+// disk -> sink. All arcs have capacity 1 except the disk->sink arcs, whose
+// capacities the retrieval algorithms tune during the search.
+type network struct {
+	g    *flowgraph.Graph
+	s, t int
+	q    int // |Q|
+
+	diskIDs []int        // participating disks (global IDs), in first-use order
+	diskVtx []int        // diskVtx[k]: vertex of participating disk k
+	params  []DiskParams // params[k]
+	inDeg   []int64      // replica count per participating disk
+	diskArc []int        // arc disk->sink per participating disk
+	caps    []int64      // current disk->sink capacities (mirror of the graph)
+	srcArc  []int        // arc source->bucket per bucket
+}
+
+// buildNetwork constructs the flow network of a problem. Only disks holding
+// at least one replica of the query participate; the rest cannot carry
+// flow.
+func buildNetwork(p *Problem) *network {
+	q := len(p.Replicas)
+	// First pass: discover participating disks.
+	vtxOf := make(map[int]int)
+	var diskIDs []int
+	for _, reps := range p.Replicas {
+		for _, d := range reps {
+			if _, ok := vtxOf[d]; !ok {
+				vtxOf[d] = len(diskIDs)
+				diskIDs = append(diskIDs, d)
+			}
+		}
+	}
+	nd := len(diskIDs)
+	// Vertices: 0 = source, 1..q = buckets, q+1..q+nd = disks, q+nd+1 = sink.
+	n := q + nd + 2
+	g := flowgraph.New(n)
+	net := &network{
+		g: g, s: 0, t: n - 1, q: q,
+		diskIDs: diskIDs,
+		diskVtx: make([]int, nd),
+		params:  make([]DiskParams, nd),
+		inDeg:   make([]int64, nd),
+		diskArc: make([]int, nd),
+		caps:    make([]int64, nd),
+		srcArc:  make([]int, q),
+	}
+	for k, d := range diskIDs {
+		net.diskVtx[k] = q + 1 + k
+		net.params[k] = p.Disks[d]
+	}
+	for i, reps := range p.Replicas {
+		net.srcArc[i] = g.AddEdge(net.s, 1+i, 1)
+		for _, d := range reps {
+			k := vtxOf[d]
+			g.AddEdge(1+i, net.diskVtx[k], 1)
+			net.inDeg[k]++
+		}
+	}
+	for k := range diskIDs {
+		net.diskArc[k] = g.AddEdge(net.diskVtx[k], net.t, 0)
+	}
+	return net
+}
+
+// setCap updates participating disk k's sink-arc capacity.
+func (net *network) setCap(k int, c int64) {
+	net.caps[k] = c
+	net.g.SetCap(net.diskArc[k], c)
+}
+
+// capsForTime sets every disk->sink capacity to the number of blocks the
+// disk can complete by time t (clamped to its replica count, which never
+// changes feasibility but keeps the numbers small).
+func (net *network) capsForTime(t cost.Micros) {
+	for k, dp := range net.params {
+		net.setCap(k, cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, t, net.inDeg[k]))
+	}
+}
+
+// bucketVertex returns the vertex of bucket i.
+func (net *network) bucketVertex(i int) int { return 1 + i }
+
+// extractSchedule reads the assignment off the saturated bucket->disk arcs
+// of a |Q|-valued flow.
+func (net *network) extractSchedule(p *Problem) (*Schedule, error) {
+	g := net.g
+	s := &Schedule{
+		Assignment: make([]int, net.q),
+		Counts:     make([]int64, len(p.Disks)),
+	}
+	vtxToDisk := make(map[int]int, len(net.diskIDs))
+	for k, v := range net.diskVtx {
+		vtxToDisk[v] = net.diskIDs[k]
+	}
+	for i := 0; i < net.q; i++ {
+		v := net.bucketVertex(i)
+		assigned := -1
+		for a := g.Head[v]; a >= 0; a = g.Next[a] {
+			if a%2 == 0 && g.Flow[a] > 0 { // forward bucket->disk arc carrying flow
+				d, ok := vtxToDisk[int(g.To[a])]
+				if !ok {
+					return nil, fmt.Errorf("retrieval: bucket %d flows to non-disk vertex %d", i, g.To[a])
+				}
+				assigned = d
+				break
+			}
+		}
+		if assigned < 0 {
+			return nil, fmt.Errorf("retrieval: bucket %d unassigned (flow not maximal?)", i)
+		}
+		s.Assignment[i] = assigned
+		s.Counts[assigned]++
+	}
+	s.ResponseTime = p.Makespan(s.Assignment)
+	return s, nil
+}
+
+// incrementState tracks the live disk-edge set E of Algorithm 3. Retired
+// edges (capacity at the replica count, so the disk can never serve more
+// buckets) are removed so the total number of increment steps stays
+// O(c * |Q|).
+type incrementState struct {
+	active []int // indices into net.diskIDs still in E
+}
+
+func newIncrementState(net *network) *incrementState {
+	st := &incrementState{active: make([]int, len(net.diskIDs))}
+	for k := range st.active {
+		st.active[k] = k
+	}
+	return st
+}
+
+// incrementMinCost is Algorithm 3: retire saturated disk edges, find the
+// minimum next-unit completion cost D + X + (cap+1)*C over the remaining
+// edges, and raise the capacity of every edge achieving it. It returns the
+// threshold cost, or cost.Max when no edge remains.
+func (st *incrementState) incrementMinCost(net *network) cost.Micros {
+	minCost := cost.Max
+	live := st.active[:0]
+	for _, k := range st.active {
+		if net.inDeg[k] <= net.caps[k] {
+			continue // retire: the disk cannot serve more than its replicas
+		}
+		live = append(live, k)
+		if c := net.params[k].Finish(net.caps[k] + 1); c < minCost {
+			minCost = c
+		}
+	}
+	st.active = live
+	if minCost == cost.Max {
+		return minCost
+	}
+	for _, k := range st.active {
+		if net.params[k].Finish(net.caps[k]+1) == minCost {
+			net.setCap(k, net.caps[k]+1)
+		}
+	}
+	return minCost
+}
+
+// candidateTimes enumerates every possible query completion time
+// D_j + X_j + k*C_j (k up to the disk's replica count) in increasing
+// order. The optimal response time is always one of these.
+func (net *network) candidateTimes() []cost.Micros {
+	var out []cost.Micros
+	for k, dp := range net.params {
+		lim := net.inDeg[k]
+		if lim > int64(net.q) {
+			lim = int64(net.q)
+		}
+		for b := int64(1); b <= lim; b++ {
+			out = append(out, dp.Finish(b))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// dedupe
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

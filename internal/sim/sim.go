@@ -1,0 +1,174 @@
+// Package sim is an event-driven simulator of the paper's application
+// model (Section II-A): multi-site storage arrays serving a stream of
+// queries. It is the substrate that *produces* the initial-load values X_j
+// the generalized retrieval problem consumes — after each scheduled query,
+// the simulator advances the per-disk busy horizons, so the next query
+// sees realistic residual loads instead of synthetic ones.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+	"imflow/internal/storage"
+)
+
+// Scheduler decides which replica serves each bucket of a query; the
+// retrieval solvers satisfy this via SolverScheduler.
+type Scheduler interface {
+	Name() string
+	Schedule(p *retrieval.Problem) (*retrieval.Schedule, error)
+}
+
+// SolverScheduler adapts a retrieval.Solver into a Scheduler.
+type SolverScheduler struct {
+	Solver retrieval.Solver
+}
+
+// Name implements Scheduler.
+func (s SolverScheduler) Name() string { return s.Solver.Name() }
+
+// Schedule implements Scheduler.
+func (s SolverScheduler) Schedule(p *retrieval.Problem) (*retrieval.Schedule, error) {
+	res, err := s.Solver.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// Query is one arrival in the simulated stream.
+type Query struct {
+	Arrival  cost.Micros
+	Replicas [][]int // per requested bucket: the global disks holding it
+}
+
+// QueryResult records the outcome of one simulated query.
+type QueryResult struct {
+	Arrival      cost.Micros
+	ResponseTime cost.Micros // schedule makespan as seen by the client
+	Finish       cost.Micros // absolute completion instant
+	Schedule     *retrieval.Schedule
+}
+
+// DiskTrace records per-disk utilization over a run.
+type DiskTrace struct {
+	Blocks    int64       // blocks served
+	BusyUntil cost.Micros // absolute instant the disk drains its queue
+}
+
+// Simulator replays a query stream against a storage system, invoking the
+// scheduler with the live initial loads.
+type Simulator struct {
+	sys   *storage.System
+	sched Scheduler
+
+	clock     cost.Micros
+	busyUntil []cost.Micros
+	traces    []DiskTrace
+	results   []QueryResult
+}
+
+// New returns a simulator over the given system and scheduler.
+func New(sys *storage.System, sched Scheduler) *Simulator {
+	return &Simulator{
+		sys:       sys,
+		sched:     sched,
+		busyUntil: make([]cost.Micros, sys.NumDisks()),
+		traces:    make([]DiskTrace, sys.NumDisks()),
+	}
+}
+
+// Clock returns the current simulated time.
+func (s *Simulator) Clock() cost.Micros { return s.clock }
+
+// Results returns the per-query outcomes recorded so far.
+func (s *Simulator) Results() []QueryResult { return s.results }
+
+// Traces returns per-disk utilization.
+func (s *Simulator) Traces() []DiskTrace { return s.traces }
+
+// LoadAt returns disk j's initial load as seen at time now: the residual
+// busy time, zero if idle.
+func (s *Simulator) LoadAt(j int, now cost.Micros) cost.Micros {
+	if s.busyUntil[j] <= now {
+		return 0
+	}
+	return s.busyUntil[j] - now
+}
+
+// ProblemAt builds the generalized retrieval problem for a query arriving
+// now, snapshotting the live loads.
+func (s *Simulator) ProblemAt(replicas [][]int, now cost.Micros) *retrieval.Problem {
+	p := &retrieval.Problem{
+		Disks:    make([]retrieval.DiskParams, s.sys.NumDisks()),
+		Replicas: replicas,
+	}
+	for j, d := range s.sys.Disks {
+		p.Disks[j] = retrieval.DiskParams{
+			Service: d.Service,
+			Delay:   d.Delay,
+			Load:    s.LoadAt(j, now),
+		}
+	}
+	return p
+}
+
+// Submit runs one query through the simulator at its arrival time and
+// returns its result. Arrivals must be non-decreasing.
+func (s *Simulator) Submit(q Query) (*QueryResult, error) {
+	if q.Arrival < s.clock {
+		return nil, fmt.Errorf("sim: arrival %v before clock %v", q.Arrival, s.clock)
+	}
+	s.clock = q.Arrival
+	p := s.ProblemAt(q.Replicas, s.clock)
+	sched, err := s.sched.Schedule(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scheduling query at %v: %w", q.Arrival, err)
+	}
+	if err := p.ValidateSchedule(sched); err != nil {
+		return nil, fmt.Errorf("sim: scheduler returned invalid schedule: %w", err)
+	}
+	// Execute: each assigned disk appends its blocks to its queue; the
+	// query's response is the slowest site-delayed completion.
+	var worst cost.Micros
+	for j, k := range sched.Counts {
+		if k == 0 {
+			continue
+		}
+		start := s.busyUntil[j]
+		if start < s.clock {
+			start = s.clock
+		}
+		s.busyUntil[j] = start + cost.Micros(k)*s.sys.Disks[j].Service
+		s.traces[j].Blocks += k
+		s.traces[j].BusyUntil = s.busyUntil[j]
+		if finish := s.busyUntil[j] + s.sys.Disks[j].Delay; finish-s.clock > worst {
+			worst = finish - s.clock
+		}
+	}
+	r := QueryResult{
+		Arrival:      q.Arrival,
+		ResponseTime: worst,
+		Finish:       q.Arrival + worst,
+		Schedule:     sched,
+	}
+	s.results = append(s.results, r)
+	return &r, nil
+}
+
+// Run replays a whole stream (sorted by arrival) and returns the results.
+func (s *Simulator) Run(stream []Query) ([]QueryResult, error) {
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+	out := make([]QueryResult, 0, len(stream))
+	for _, q := range stream {
+		r, err := s.Submit(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}

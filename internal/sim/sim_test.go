@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+func testSystem() *storage.System {
+	return storage.Uniform(2, 3, storage.Cheetah) // 6 disks, no delay/load
+}
+
+func replicasFor(rng *xrand.Source, sys *storage.System, q int) [][]int {
+	reps := make([][]int, q)
+	for i := range reps {
+		a := rng.Intn(sys.DisksPerSite)
+		b := rng.Intn(sys.DisksPerSite)
+		reps[i] = []int{sys.GlobalID(0, a), sys.GlobalID(1, b)}
+	}
+	return reps
+}
+
+func TestSimResponseMatchesAnalyticFormula(t *testing.T) {
+	// Invariant 9 of DESIGN.md: the event loop's response time equals the
+	// analytic max_j (D_j + X_j + k_j*C_j) of the schedule it executed.
+	rng := xrand.New(1)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	clock := cost.Micros(0)
+	for i := 0; i < 50; i++ {
+		clock += cost.FromMillis(float64(rng.Intn(20)))
+		q := Query{Arrival: clock, Replicas: replicasFor(rng, sys, 1+rng.Intn(30))}
+		r, err := s.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ResponseTime != r.Schedule.ResponseTime {
+			t.Fatalf("query %d: event response %v != schedule makespan %v",
+				i, r.ResponseTime, r.Schedule.ResponseTime)
+		}
+		if r.Finish != r.Arrival+r.ResponseTime {
+			t.Fatalf("query %d: finish bookkeeping wrong", i)
+		}
+	}
+}
+
+func TestSimBuildsBacklog(t *testing.T) {
+	rng := xrand.New(2)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	// Two large queries arriving back to back: the second must see
+	// non-zero initial loads.
+	q1 := Query{Arrival: 0, Replicas: replicasFor(rng, sys, 60)}
+	if _, err := s.Submit(q1); err != nil {
+		t.Fatal(err)
+	}
+	sawLoad := false
+	p := s.ProblemAt(replicasFor(rng, sys, 10), cost.FromMillis(1))
+	for _, d := range p.Disks {
+		if d.Load > 0 {
+			sawLoad = true
+		}
+	}
+	if !sawLoad {
+		t.Fatal("no initial load after a 60-block query")
+	}
+	// And with zero elapsed time the load equals the busy horizon.
+	for j := range sys.Disks {
+		if got, want := s.LoadAt(j, 0), s.busyUntil[j]; got != want {
+			t.Fatalf("disk %d: LoadAt(0) = %v, busyUntil = %v", j, got, want)
+		}
+	}
+}
+
+func TestSimLoadDrains(t *testing.T) {
+	rng := xrand.New(3)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	if _, err := s.Submit(Query{Arrival: 0, Replicas: replicasFor(rng, sys, 12)}); err != nil {
+		t.Fatal(err)
+	}
+	far := cost.FromMillis(1e6)
+	for j := range sys.Disks {
+		if s.LoadAt(j, far) != 0 {
+			t.Fatalf("disk %d still loaded in the distant future", j)
+		}
+	}
+}
+
+func TestSimRejectsTimeTravel(t *testing.T) {
+	rng := xrand.New(4)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	if _, err := s.Submit(Query{Arrival: cost.FromMillis(10), Replicas: replicasFor(rng, sys, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Query{Arrival: cost.FromMillis(5), Replicas: replicasFor(rng, sys, 3)}); err == nil {
+		t.Fatal("arrival before clock accepted")
+	}
+}
+
+func TestSimRunSortsStream(t *testing.T) {
+	rng := xrand.New(5)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	stream := []Query{
+		{Arrival: cost.FromMillis(20), Replicas: replicasFor(rng, sys, 4)},
+		{Arrival: cost.FromMillis(5), Replicas: replicasFor(rng, sys, 4)},
+		{Arrival: cost.FromMillis(10), Replicas: replicasFor(rng, sys, 4)},
+	}
+	results, err := s.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Arrival < results[i-1].Arrival {
+			t.Fatal("results not in arrival order")
+		}
+	}
+	if len(s.Results()) != 3 {
+		t.Fatal("Results() incomplete")
+	}
+}
+
+func TestSimTracesAccountBlocks(t *testing.T) {
+	rng := xrand.New(6)
+	sys := testSystem()
+	s := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	const q = 25
+	if _, err := s.Submit(Query{Arrival: 0, Replicas: replicasFor(rng, sys, q)}); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tr := range s.Traces() {
+		total += tr.Blocks
+	}
+	if total != q {
+		t.Fatalf("traces account %d blocks, want %d", total, q)
+	}
+}
+
+// TestOptimalNeverWorseThanGreedyOverStream: on identical streams, the
+// per-query response of the optimal scheduler is never above greedy's
+// for the first query (no backlog) and the stream means stay ordered.
+func TestOptimalNeverWorseThanGreedyFirstQuery(t *testing.T) {
+	rng := xrand.New(7)
+	sys := testSystem()
+	reps := replicasFor(rng, sys, 40)
+	opt := New(sys, SolverScheduler{Solver: retrieval.NewPRBinary()})
+	gr := New(sys, SolverScheduler{Solver: retrieval.NewGreedy()})
+	ro, err := opt.Submit(Query{Arrival: 0, Replicas: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := gr.Submit(Query{Arrival: 0, Replicas: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.ResponseTime > rg.ResponseTime {
+		t.Fatalf("optimal %v worse than greedy %v on a fresh system",
+			ro.ResponseTime, rg.ResponseTime)
+	}
+}
+
+func TestSolverSchedulerName(t *testing.T) {
+	s := SolverScheduler{Solver: retrieval.NewPRBinary()}
+	if s.Name() != "pr-binary" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

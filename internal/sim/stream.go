@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"imflow/internal/cost"
+	"imflow/internal/decluster"
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+// ArrivalProcess generates inter-arrival gaps for a query stream.
+type ArrivalProcess interface {
+	// Next returns the gap before the next arrival.
+	Next(rng *xrand.Source) cost.Micros
+	Name() string
+}
+
+// Uniform arrivals: gaps uniform in [Lo, Hi].
+type UniformArrivals struct {
+	Lo, Hi cost.Micros
+}
+
+// Next implements ArrivalProcess.
+func (u UniformArrivals) Next(rng *xrand.Source) cost.Micros {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + cost.Micros(rng.Intn(int(u.Hi-u.Lo)+1))
+}
+
+// Name implements ArrivalProcess.
+func (u UniformArrivals) Name() string { return fmt.Sprintf("uniform[%v,%v]", u.Lo, u.Hi) }
+
+// PoissonArrivals models a Poisson process with the given mean gap
+// (exponential inter-arrival times).
+type PoissonArrivals struct {
+	Mean cost.Micros
+}
+
+// Next implements ArrivalProcess.
+func (p PoissonArrivals) Next(rng *xrand.Source) cost.Micros {
+	// Inverse-CDF sampling of Exp(1/mean); clamp u away from 0.
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return cost.Micros(math.Round(-math.Log(u) * float64(p.Mean)))
+}
+
+// Name implements ArrivalProcess.
+func (p PoissonArrivals) Name() string { return fmt.Sprintf("poisson(mean %v)", p.Mean) }
+
+// StreamSpec describes an open-loop workload: a storage system, an
+// allocation, a query generator, and an arrival process.
+type StreamSpec struct {
+	System   *storage.System
+	Alloc    *decluster.Allocation
+	Type     query.Type
+	Load     query.Load
+	Arrivals ArrivalProcess
+	Queries  int
+	Seed     uint64
+}
+
+// Generate draws the full stream up front (open-loop): every scheduler
+// replayed against it faces identical arrivals and identical queries.
+func (sp StreamSpec) Generate() ([]Query, error) {
+	if sp.Queries <= 0 {
+		return nil, fmt.Errorf("sim: non-positive stream length")
+	}
+	if sp.System == nil || sp.Alloc == nil {
+		return nil, fmt.Errorf("sim: stream needs a system and an allocation")
+	}
+	rng := xrand.New(sp.Seed ^ 0x5151515151515151)
+	gen := query.NewGenerator(sp.Alloc.Grid, sp.Type, sp.Load)
+	out := make([]Query, sp.Queries)
+	var clock cost.Micros
+	for i := range out {
+		clock += sp.Arrivals.Next(rng)
+		p := experiment.BuildProblem(sp.System, sp.Alloc, gen.Query(rng))
+		out[i] = Query{Arrival: clock, Replicas: p.Replicas}
+	}
+	return out, nil
+}
+
+// Comparison is the outcome of replaying one stream under several
+// schedulers.
+type Comparison struct {
+	Scheduler string
+	Responses []cost.Micros
+	// MeanMs and P95Ms summarize the responses in milliseconds.
+	MeanMs float64
+	P95Ms  float64
+	// Utilization is the fraction of each disk's time spent busy up to the
+	// last completion.
+	Utilization []float64
+}
+
+// Compare replays the stream under each scheduler on a fresh simulator
+// and summarizes the outcomes. Streams are copied, so the input is not
+// perturbed.
+func Compare(sys *storage.System, stream []Query, scheds ...Scheduler) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(scheds))
+	for _, sched := range scheds {
+		s := New(sys, sched)
+		results, err := s.Run(append([]Query(nil), stream...))
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", sched.Name(), err)
+		}
+		c := Comparison{Scheduler: sched.Name()}
+		var sum float64
+		var horizon cost.Micros
+		for _, r := range results {
+			c.Responses = append(c.Responses, r.ResponseTime)
+			sum += r.ResponseTime.Millis()
+			if r.Finish > horizon {
+				horizon = r.Finish
+			}
+		}
+		c.MeanMs = sum / float64(len(results))
+		c.P95Ms = percentileMs(c.Responses, 0.95)
+		c.Utilization = make([]float64, sys.NumDisks())
+		if horizon > 0 {
+			for j, tr := range s.Traces() {
+				busy := cost.Micros(tr.Blocks) * sys.Disks[j].Service
+				c.Utilization[j] = float64(busy) / float64(horizon)
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// percentileMs returns the q-quantile of the responses in milliseconds
+// (nearest-rank).
+func percentileMs(xs []cost.Micros, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]cost.Micros(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: streams are short
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Millis()
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/decluster"
+	"imflow/internal/grid"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+func testSpec(arr ArrivalProcess, queries int) StreamSpec {
+	g := grid.New(6)
+	return StreamSpec{
+		System:   storage.Uniform(2, 6, storage.Cheetah),
+		Alloc:    decluster.Orthogonal(g),
+		Type:     query.Arbitrary,
+		Load:     query.Load3,
+		Arrivals: arr,
+		Queries:  queries,
+		Seed:     3,
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	spec := testSpec(UniformArrivals{Lo: cost.FromMillis(1), Hi: cost.FromMillis(4)}, 30)
+	stream, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 30 {
+		t.Fatalf("%d queries", len(stream))
+	}
+	var prev cost.Micros
+	for i, q := range stream {
+		if q.Arrival <= prev {
+			t.Fatalf("query %d: arrival %v not after %v", i, q.Arrival, prev)
+		}
+		gap := q.Arrival - prev
+		if gap < cost.FromMillis(1) || gap > cost.FromMillis(4) {
+			t.Fatalf("query %d: gap %v outside [1ms,4ms]", i, gap)
+		}
+		if len(q.Replicas) == 0 {
+			t.Fatalf("query %d: empty", i)
+		}
+		prev = q.Arrival
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := testSpec(PoissonArrivals{Mean: cost.FromMillis(2)}, 20)
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || len(a[i].Replicas) != len(b[i].Replicas) {
+			t.Fatal("same-seed streams differ")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	spec := testSpec(UniformArrivals{Lo: 1, Hi: 2}, 0)
+	if _, err := spec.Generate(); err == nil {
+		t.Error("zero-length stream accepted")
+	}
+	spec2 := testSpec(UniformArrivals{Lo: 1, Hi: 2}, 5)
+	spec2.System = nil
+	if _, err := spec2.Generate(); err == nil {
+		t.Error("nil system accepted")
+	}
+}
+
+func TestPoissonArrivalsMean(t *testing.T) {
+	rng := xrand.New(9)
+	p := PoissonArrivals{Mean: cost.FromMillis(5)}
+	var sum cost.Micros
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.Next(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	want := float64(cost.FromMillis(5))
+	if mean < want*0.95 || mean > want*1.05 {
+		t.Errorf("empirical mean %.0f, want ~%.0f", mean, want)
+	}
+	if p.Name() == "" || (UniformArrivals{}).Name() == "" {
+		t.Error("empty process names")
+	}
+}
+
+func TestCompareSchedulers(t *testing.T) {
+	spec := testSpec(UniformArrivals{Lo: cost.FromMillis(1), Hi: cost.FromMillis(3)}, 40)
+	stream, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := Compare(spec.System, stream,
+		SolverScheduler{Solver: retrieval.NewPRBinary()},
+		SolverScheduler{Solver: retrieval.NewGreedy()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("%d comparisons", len(comps))
+	}
+	opt, greedy := comps[0], comps[1]
+	if opt.Scheduler != "pr-binary" || greedy.Scheduler != "greedy" {
+		t.Fatalf("unexpected order: %s, %s", opt.Scheduler, greedy.Scheduler)
+	}
+	if len(opt.Responses) != 40 || len(greedy.Responses) != 40 {
+		t.Fatal("response counts wrong")
+	}
+	// The optimal scheduler's mean can't be (meaningfully) worse.
+	if opt.MeanMs > greedy.MeanMs*1.001 {
+		t.Errorf("optimal mean %.3f worse than greedy %.3f", opt.MeanMs, greedy.MeanMs)
+	}
+	for j, u := range opt.Utilization {
+		if u < 0 || u > 1 {
+			t.Errorf("disk %d utilization %f outside [0,1]", j, u)
+		}
+	}
+	if opt.P95Ms < opt.MeanMs/10 {
+		t.Errorf("implausible p95 %f vs mean %f", opt.P95Ms, opt.MeanMs)
+	}
+}
+
+func TestCompareDoesNotPerturbStream(t *testing.T) {
+	spec := testSpec(UniformArrivals{Lo: cost.FromMillis(1), Hi: cost.FromMillis(2)}, 10)
+	stream, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make([]cost.Micros, len(stream))
+	for i, q := range stream {
+		arrivals[i] = q.Arrival
+	}
+	if _, err := Compare(spec.System, stream,
+		SolverScheduler{Solver: retrieval.NewGreedy()}); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range stream {
+		if q.Arrival != arrivals[i] {
+			t.Fatal("Compare mutated the caller's stream")
+		}
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	xs := []cost.Micros{1000, 2000, 3000, 4000}
+	if got := percentileMs(xs, 0.5); got != 2 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentileMs(xs, 1.0); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := percentileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package stats provides the small set of descriptive statistics the
+// benchmark harness reports: means, medians, percentiles, extrema, and
+// elementwise ratio series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Ratios returns the elementwise quotient num[i]/den[i]. Slices must have
+// equal length and den must be positive everywhere.
+func Ratios(num, den []float64) []float64 {
+	if len(num) != len(den) {
+		panic("stats: ratio of unequal-length series")
+	}
+	out := make([]float64, len(num))
+	for i := range num {
+		if den[i] <= 0 {
+			panic(fmt.Sprintf("stats: non-positive denominator at %d", i))
+		}
+		out[i] = num[i] / den[i]
+	}
+	return out
+}
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P95    float64
+}
+
+// Summarize computes a Summary (zero value for an empty sample).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		StdDev: StdDev(xs),
+		P95:    Percentile(xs, 95),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g min=%.4g max=%.4g sd=%.4g p95=%.4g",
+		s.Count, s.Mean, s.Median, s.Min, s.Max, s.StdDev, s.P95)
+}

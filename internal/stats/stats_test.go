@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Error("Min/Max wrong")
+	}
+	for _, f := range []func([]float64) float64{Min, Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on empty")
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Median([]float64{7}) != 7 {
+		t.Error("single-element median")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRatios(t *testing.T) {
+	got := Ratios([]float64{2, 9}, []float64{1, 3})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("Ratios = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero denominator")
+		}
+	}()
+	Ratios([]float64{1}, []float64{0})
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Count != 3 || s.Mean != 2 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Error("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64, p1Raw, p2Raw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(p1Raw) / 255 * 100
+		p2 := float64(p2Raw) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		a, b := Percentile(xs, p1), Percentile(xs, p2)
+		return a <= b && a >= Min(xs) && b <= Max(xs)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package trace serializes materialized evaluation cells — the storage
+// system and every generated query with its replica lists — so a workload
+// can be archived, diffed across implementations, or replayed elsewhere
+// (the role of the paper's project-webpage result dumps). The format is
+// self-contained JSON: loading a trace requires no allocation scheme or
+// RNG, so results stay reproducible even if workload generation changes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"imflow/internal/encoding"
+	"imflow/internal/experiment"
+	"imflow/internal/retrieval"
+)
+
+// Trace is an archived evaluation cell.
+type Trace struct {
+	// Meta echoes the configuration that generated the workload.
+	Meta Meta `json:"meta"`
+	// Problems holds one wire-format problem per query.
+	Problems []encoding.ProblemJSON `json:"problems"`
+}
+
+// Meta describes a trace's provenance.
+type Meta struct {
+	Experiment int    `json:"experiment"`
+	Allocation string `json:"allocation"`
+	QueryType  string `json:"query_type"`
+	Load       string `json:"load"`
+	N          int    `json:"n"`
+	Seed       uint64 `json:"seed"`
+}
+
+// FromInstance captures a materialized cell.
+func FromInstance(inst *experiment.Instance) *Trace {
+	t := &Trace{
+		Meta: Meta{
+			Experiment: inst.Config.ExpNum,
+			Allocation: inst.Config.Alloc.String(),
+			QueryType:  inst.Config.Type.String(),
+			Load:       inst.Config.Load.String(),
+			N:          inst.Config.N,
+			Seed:       inst.Config.Seed,
+		},
+		Problems: make([]encoding.ProblemJSON, len(inst.Problems)),
+	}
+	for i, p := range inst.Problems {
+		t.Problems[i] = *encoding.EncodeProblem(p)
+	}
+	return t
+}
+
+// Retrieve decodes and validates every archived problem.
+func (t *Trace) Retrieve() ([]*retrieval.Problem, error) {
+	out := make([]*retrieval.Problem, len(t.Problems))
+	for i := range t.Problems {
+		p, err := t.Problems[i].Problem()
+		if err != nil {
+			return nil, fmt.Errorf("trace: problem %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Write streams the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Read parses a trace.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to a file path.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Write(f)
+}
+
+// LoadFile reads a trace from a file path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

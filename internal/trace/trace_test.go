@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"imflow/internal/encoding"
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+)
+
+func buildInstance(t *testing.T) *experiment.Instance {
+	t.Helper()
+	cfg := experiment.Config{
+		ExpNum: 5, Alloc: experiment.Orthogonal,
+		Type: query.Arbitrary, Load: query.Load3,
+		N: 6, Queries: 8, Seed: 13,
+	}
+	inst, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestRoundTripPreservesSolutions(t *testing.T) {
+	inst := buildInstance(t)
+	tr := FromInstance(inst)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta != tr.Meta {
+		t.Fatalf("meta changed: %+v vs %+v", back.Meta, tr.Meta)
+	}
+	problems, err := back.Retrieve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != len(inst.Problems) {
+		t.Fatalf("%d problems, want %d", len(problems), len(inst.Problems))
+	}
+	solver := retrieval.NewPRBinary()
+	for i := range problems {
+		a, err := solver.Solve(inst.Problems[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := solver.Solve(problems[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Schedule.ResponseTime != b.Schedule.ResponseTime {
+			t.Fatalf("query %d: response changed across trace round trip", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	inst := buildInstance(t)
+	tr := FromInstance(inst)
+	path := filepath.Join(t.TempDir(), "cell.json")
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Problems) != len(tr.Problems) {
+		t.Fatal("problem count changed")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"not json",
+		`{"meta": {}, "problems": [], "surprise": 1}`,
+	} {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestRetrieveValidates(t *testing.T) {
+	bad := &Trace{Problems: []encoding.ProblemJSON{
+		{Disks: []encoding.DiskJSON{{ServiceMs: 1}}, Buckets: [][]int{{5}}}, // unknown disk
+	}}
+	if _, err := bad.Retrieve(); err == nil {
+		t.Fatal("invalid archived problem accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator (splitmix64) plus the sampling helpers the workload generators
+// need. A fixed algorithm with explicit seeding keeps every experiment in
+// the repository bit-reproducible across Go releases, which math/rand's
+// unexported generator selection does not guarantee.
+package xrand
+
+// Source is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling with rejection to keep
+	// the distribution exactly uniform.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= uint64(-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in
+// selection order. It panics if k > n.
+func (s *Source) Sample(n, k int) []int {
+	if k > n {
+		panic("xrand: Sample k > n")
+	}
+	// Floyd's algorithm: O(k) expected work, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := s.Intn(j + 1)
+		if _, dup := chosen[v]; dup {
+			v = j
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// WeightedIndex draws an index i with probability weights[i]/sum(weights).
+// Weights must be non-negative with a positive sum.
+func (s *Source) WeightedIndex(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("xrand: weights sum to zero")
+	}
+	x := s.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Fork derives an independent generator from the current one. Streams from
+// the parent and child do not overlap for any practical draw count.
+func (s *Source) Fork() *Source {
+	return New(s.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

@@ -1,0 +1,197 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestKnownSplitmix64Vector(t *testing.T) {
+	// Reference values of splitmix64 seeded with 0 (from the public-domain
+	// reference implementation by Sebastiano Vigna).
+	want := []uint64{
+		0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F,
+		0xF88BB8A8724C81EC, 0x1B39896A51A8749B,
+	}
+	s := New(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("draw %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			if v := s.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	for v, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("value %d drawn %d times, expected ~%d", v, c, draws/n)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("IntRange(5,8) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 8; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+	if got := s.IntRange(4, 4); got != 4 {
+		t.Errorf("degenerate range: got %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := New(13)
+	err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 1)
+		out := s.Sample(n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleFullRange(t *testing.T) {
+	s := New(17)
+	out := s.Sample(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range out {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("Sample(10,10) missing %d", i)
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(19)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.WeightedIndex(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight-3/weight-1 ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Fork()
+	// The child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("fork looks correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestShuffleCoversArrangements(t *testing.T) {
+	s := New(29)
+	// All 6 arrangements of 3 elements should appear.
+	seen := map[[3]int]bool{}
+	for i := 0; i < 600; i++ {
+		arr := [3]int{0, 1, 2}
+		s.Shuffle(3, func(a, b int) { arr[a], arr[b] = arr[b], arr[a] })
+		seen[arr] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("saw %d/6 arrangements", len(seen))
+	}
+}
