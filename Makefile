@@ -1,0 +1,37 @@
+# Correctness-tooling entry points. CI (.github/workflows/ci.yml) runs the
+# same commands; `make check` is the pre-push aggregate.
+
+GO ?= go
+
+.PHONY: build test race lint vet fuzz audit check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector stress over the lock-free solver and its callers.
+race:
+	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/...
+
+## lint: the repository's custom analyzers (microsfloat, atomicfield)
+## plus a curated go vet set — see cmd/imflow-lint.
+lint:
+	$(GO) run ./cmd/imflow-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+## fuzz: short exploratory runs of both fuzz targets (seed corpora under
+## testdata/fuzz/ always replay in plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzReadProblem -fuzztime=30s ./internal/encoding/
+	$(GO) test -fuzz=FuzzSolverConsensus -fuzztime=30s ./internal/retrieval/
+
+## audit: re-run the solver tests with the imflow_audit build tag, arming
+## the max-flow = min-cut certificate checks after every engine run.
+audit:
+	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/...
+
+check: build vet lint test audit race

@@ -1,0 +1,118 @@
+// Package analyzertest runs an analyzer over a golden testdata package and
+// compares its diagnostics against "// want" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Each line of a fixture file may carry an expectation comment:
+//
+//	x := float64(m) // want "conversion to float64" "cost.Micros"
+//
+// Every quoted string is an anchored-nowhere regular expression that must
+// match the message of exactly one diagnostic reported on that line; every
+// diagnostic must be matched by exactly one expectation. Fixtures live
+// under testdata/ so the go tool never builds them, but they are parsed
+// and fully type-checked (including real imports such as
+// imflow/internal/cost) by analysis.LoadDir.
+package analyzertest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"imflow/internal/analysis"
+)
+
+// wantRe matches the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir, applies the analyzer, and reports
+// any mismatch between diagnostics and // want expectations as test
+// failures. It returns the diagnostics for optional further assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	expects, err := parseExpectations(dir)
+	if err != nil {
+		t.Fatalf("parsing expectations: %v", err)
+	}
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches, and reports whether one was found.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, e := range expects {
+		if e.matched || e.file != base || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations scans every fixture file for // want comments.
+func parseExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, entry.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, wants, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(wants, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", entry.Name(), i+1, wants)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", entry.Name(), i+1, m[1], err)
+				}
+				out = append(out, &expectation{file: entry.Name(), line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package atomicfield implements the analyzer that enforces the access
+// discipline of the lock-free parallel push-relabel solver (and of any
+// future concurrent structure adopting the same convention).
+//
+// A struct field whose declaration comment contains the marker "(atomic)"
+// — e.g. parallel.Solver's res, excess, height and inQueue arrays — is a
+// shared location that concurrent code may only touch through sync/atomic
+// operations. The analyzer flags every other access: plain element loads
+// and stores, slice-header reads, ranges, and aliasing.
+//
+// Functions that provably run while the workers are quiesced (sequential
+// preparation, post-Wait conversion, sections holding the solver's global
+// write lock) opt out with the //imflow:quiescent directive on their doc
+// comment; the directive is a documented claim about the function's
+// scheduling context, reviewed like any other concurrency argument.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"imflow/internal/analysis"
+)
+
+// DirectiveQuiescent marks a function whose body only runs while no
+// concurrent accessor of the annotated fields is live.
+const DirectiveQuiescent = "//imflow:quiescent"
+
+// Marker is the substring of a field's declaration comment that puts the
+// field under the analyzer's discipline.
+const Marker = "(atomic)"
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields documented (atomic) may only be accessed through sync/atomic outside //imflow:quiescent functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := collectAtomicFields(pass)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, DirectiveQuiescent) {
+				continue
+			}
+			checkFunc(pass, fd, atomicFields)
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields returns the field objects annotated "(atomic)" in
+// any struct declared in this package.
+func collectAtomicFields(pass *analysis.Pass) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !commentHasMarker(field.Doc) && !commentHasMarker(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func commentHasMarker(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(cg.Text(), Marker)
+}
+
+// checkFunc reports every access to an annotated field in fd that is not
+// of the shape atomic.Op(&x.field[i], ...) or a method call on a
+// sync/atomic-typed field.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, atomicFields map[types.Object]bool) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := selectedField(pass, sel)
+		if obj == nil || !atomicFields[obj] {
+			return true
+		}
+		if allowedAtomicUse(pass, sel, stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is documented (atomic): access it via sync/atomic or mark %s %s",
+			obj.Name(), funcName(fd), DirectiveQuiescent)
+		return true
+	})
+}
+
+func funcName(fd *ast.FuncDecl) string { return fd.Name.Name }
+
+// selectedField resolves a selector to the struct field object it names,
+// or nil if it names something else (method, package member, ...).
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// allowedAtomicUse reports whether the selector (an annotated field) is
+// used in one of the sanctioned shapes. stack is the path from the
+// function declaration down to sel, sel last.
+func allowedAtomicUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	// stack[...]: ..., great-grandparent, grandparent, parent, sel
+	parent := nthParent(stack, 1)
+	// Method call on a field whose type lives in sync/atomic
+	// (e.g. s.pending.Add(1) for an atomic.Int64 field).
+	if isSyncAtomicType(pass.TypeOf(sel)) {
+		if _, ok := parent.(*ast.SelectorExpr); ok {
+			return true
+		}
+		return false
+	}
+	// atomic.Op(&x.field[i], ...): parent IndexExpr, then &, then a call
+	// into sync/atomic with that address as a direct argument.
+	idx, ok := parent.(*ast.IndexExpr)
+	if !ok || idx.X != ast.Expr(sel) {
+		return false
+	}
+	addr, ok := nthParent(stack, 2).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND || addr.X != ast.Expr(idx) {
+		return false
+	}
+	call, ok := nthParent(stack, 3).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isSyncAtomicCall(pass, call)
+}
+
+// nthParent returns the n-th ancestor of the last stack element (n=1 is
+// the direct parent), or nil.
+func nthParent(stack []ast.Node, n int) ast.Node {
+	i := len(stack) - 1 - n
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// isSyncAtomicCall reports whether the call's callee is a function from
+// the sync/atomic package.
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pkgName.Imported().Path() == "sync/atomic"
+}
+
+// isSyncAtomicType reports whether t is (a pointer to) a named type
+// declared in sync/atomic.
+func isSyncAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,46 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis"
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/atomicfield"
+)
+
+// TestAtomicViolations proves the analyzer reports every plain-access
+// shape: element stores and loads, slice-header reads, len, and taking
+// the address of a sync/atomic-typed field.
+func TestAtomicViolations(t *testing.T) {
+	diags := analyzertest.Run(t, atomicfield.Analyzer, "testdata/atomicbad")
+	if len(diags) == 0 {
+		t.Fatal("deliberate-violation fixture produced no diagnostics")
+	}
+}
+
+// TestAtomicClean proves the sanctioned shapes — atomic.Op(&x.f[i], ...),
+// methods on sync/atomic-typed fields, and //imflow:quiescent functions —
+// pass without diagnostics.
+func TestAtomicClean(t *testing.T) {
+	analyzertest.Run(t, atomicfield.Analyzer, "testdata/atomicok")
+}
+
+// TestParallelSolverClean runs the analyzer over the live lock-free
+// solver: every access to its (atomic)-annotated arrays must go through
+// sync/atomic or sit in a reviewed //imflow:quiescent function.
+func TestParallelSolverClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	pkgs, err := analysis.Load(".", "imflow/internal/maxflow/parallel")
+	if err != nil {
+		t.Fatalf("loading parallel solver: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{atomicfield.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("solver breaks the atomic-field discipline: %s", d)
+	}
+}

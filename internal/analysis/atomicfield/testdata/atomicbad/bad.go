@@ -1,0 +1,48 @@
+// Package atomicbad is a deliberately violating fixture for the
+// atomicfield analyzer: a miniature lock-free solver whose annotated
+// arrays are touched plainly from code not marked quiescent.
+package atomicbad
+
+import "sync/atomic"
+
+type solver struct {
+	res    []int64      // residual capacity per arc (atomic)
+	excess []int64      // per-vertex excess (atomic)
+	plain  []int64      // scratch, single-owner
+	count  atomic.Int64 // relabel counter (atomic)
+}
+
+// good uses only the sanctioned shapes: sync/atomic element access, a
+// method on a sync/atomic-typed field, and free access to a field that
+// carries no (atomic) marker.
+func (s *solver) good(v int) int64 {
+	atomic.AddInt64(&s.excess[v], 1)
+	s.count.Add(1)
+	if atomic.CompareAndSwapInt64(&s.res[v], 0, 1) {
+		return atomic.LoadInt64(&s.res[v])
+	}
+	return s.plain[v]
+}
+
+// bad touches the annotated fields plainly from (implicitly) concurrent
+// code.
+func (s *solver) bad(v int) int64 {
+	s.excess[v]++      // want "field excess is documented \(atomic\)"
+	s.res[v] = 0       // want "field res is documented \(atomic\)"
+	header := s.res    // want "field res is documented \(atomic\)"
+	n := len(s.excess) // want "field excess is documented \(atomic\)"
+	p := &s.count      // want "field count is documented \(atomic\)"
+	return header[v] + int64(n) + p.Load()
+}
+
+// prep reinitializes the arrays before any worker starts, so plain access
+// is legal under the quiescent directive.
+//
+//imflow:quiescent
+func (s *solver) prep(n int) {
+	s.res = make([]int64, n)
+	for v := range s.excess {
+		s.excess[v] = 0
+	}
+	s.count.Store(0)
+}

@@ -1,0 +1,37 @@
+// Package atomicok is a fixture proving the atomicfield analyzer stays
+// silent on code that follows the discipline everywhere.
+package atomicok
+
+import "sync/atomic"
+
+type queue struct {
+	flags   []int32      // membership flags (atomic)
+	pending atomic.Int64 // live entries (atomic)
+	items   []int32
+}
+
+// tryAcquire follows the CAS shape of the real solver's tryEnqueue.
+func (q *queue) tryAcquire(v int) bool {
+	if atomic.CompareAndSwapInt32(&q.flags[v], 0, 1) {
+		q.pending.Add(1)
+		return true
+	}
+	return false
+}
+
+// release stores through sync/atomic and reads the unannotated field
+// freely.
+func (q *queue) release(v int) int32 {
+	atomic.StoreInt32(&q.flags[v], 0)
+	return q.items[v]
+}
+
+// reset runs while no concurrent accessor is live.
+//
+//imflow:quiescent
+func (q *queue) reset() {
+	for i := range q.flags {
+		q.flags[i] = 0
+	}
+	q.pending.Store(0)
+}

@@ -1,0 +1,173 @@
+// Package microsfloat implements the analyzer that keeps the repository's
+// integer-microsecond core float-free.
+//
+// DESIGN.md's central numeric claim is that every feasibility decision —
+// the capacity computation floor((t-D-X)/C) over cost.Micros — is exact
+// integer arithmetic, so results can never flip due to floating-point
+// rounding. The analyzer makes that claim mechanical:
+//
+//  1. A package marked with the //imflow:floatfree directive may not
+//     contain floating-point literals, declarations, arithmetic,
+//     conversions, or calls yielding floats. The only escape hatch is a
+//     function carrying the //imflow:floatboundary directive, honored
+//     solely inside imflow/internal/cost — the two declared ms<->us
+//     bridges (FromMillis, Micros.Millis) live there; the directive
+//     appearing anywhere else is itself reported.
+//  2. The core packages (internal/cost, internal/flowgraph,
+//     internal/maxflow and subpackages, internal/retrieval) are required
+//     to carry the directive, so dropping the marker cannot silently
+//     disable the check.
+//  3. In every other package, converting a cost.Micros directly to a
+//     float type (or a float directly to cost.Micros) is reported: the
+//     sanctioned bridges are Micros.Millis and cost.FromMillis.
+package microsfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"imflow/internal/analysis"
+)
+
+// Directives recognized by the analyzer.
+const (
+	DirectiveFloatFree = "//imflow:floatfree"
+	DirectiveBoundary  = "//imflow:floatboundary"
+)
+
+// costPath is the one package whose //imflow:floatboundary directives are
+// honored.
+const costPath = "imflow/internal/cost"
+
+// FloatFreeRoster lists the import-path prefixes that must declare the
+// floatfree directive (a prefix covers its subpackages).
+var FloatFreeRoster = []string{
+	"imflow/internal/cost",
+	"imflow/internal/flowgraph",
+	"imflow/internal/maxflow",
+	"imflow/internal/retrieval",
+}
+
+// Analyzer is the microsfloat analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "microsfloat",
+	Doc:  "forbid floating-point code in the integer-microsecond core and raw Micros<->float conversions everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	floatFree := false
+	for _, f := range pass.Files {
+		if analysis.FileHasDirective(f, DirectiveFloatFree) {
+			floatFree = true
+			break
+		}
+	}
+	if !floatFree && onRoster(pass.Pkg.Path()) {
+		pass.Reportf(pass.Files[0].Package,
+			"package %s is in the float-free core but lacks the %s directive", pass.Pkg.Path(), DirectiveFloatFree)
+		// Fall through: still enforce as if the directive were present.
+		floatFree = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && analysis.HasDirective(fd.Doc, DirectiveBoundary) {
+				if pass.Pkg.Path() == costPath {
+					continue // declared conversion boundary
+				}
+				pass.Reportf(fd.Pos(), "%s directive is only honored in %s", DirectiveBoundary, costPath)
+			}
+			check(pass, decl, floatFree)
+		}
+	}
+	return nil
+}
+
+func onRoster(path string) bool {
+	for _, prefix := range FloatFreeRoster {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks one top-level declaration reporting float usage.
+func check(pass *analysis.Pass, decl ast.Decl, floatFree bool) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if floatFree && (n.Kind == token.FLOAT || n.Kind == token.IMAG) {
+				pass.Reportf(n.Pos(), "floating-point literal %s in float-free package", n.Value)
+			}
+		case *ast.Ident:
+			if !floatFree {
+				return true
+			}
+			if obj := pass.Info.Defs[n]; obj != nil && obj.Type() != nil && isFloaty(obj.Type()) {
+				pass.Reportf(n.Pos(), "%s declares a %s value in a float-free package", n.Name, obj.Type())
+			}
+		case *ast.BinaryExpr:
+			if floatFree && isFloaty(pass.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "floating-point arithmetic in float-free package")
+			}
+		case *ast.UnaryExpr:
+			if floatFree && isFloaty(pass.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "floating-point arithmetic in float-free package")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, floatFree)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, floatFree bool) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x).
+		to := tv.Type
+		var from types.Type
+		if len(call.Args) == 1 {
+			from = pass.TypeOf(call.Args[0])
+		}
+		switch {
+		case floatFree && isFloaty(to):
+			pass.Reportf(call.Pos(), "conversion to %s in float-free package", to)
+		case !floatFree && isFloaty(to) && isMicros(from):
+			pass.Reportf(call.Pos(), "converts cost.Micros to %s; use Micros.Millis at reporting boundaries", to)
+		case !floatFree && isMicros(to) && isFloaty(from):
+			pass.Reportf(call.Pos(), "converts %s to cost.Micros; use cost.FromMillis", from)
+		}
+		return
+	}
+	if floatFree && isFloaty(pass.TypeOf(call)) {
+		pass.Reportf(call.Pos(), "call yields %s in float-free package", pass.TypeOf(call))
+	}
+}
+
+func isFloaty(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isMicros reports whether t is (an alias of) cost.Micros.
+func isMicros(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Micros" && obj.Pkg() != nil && obj.Pkg().Path() == costPath
+}

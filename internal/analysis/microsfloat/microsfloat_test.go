@@ -1,0 +1,61 @@
+package microsfloat_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis"
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/microsfloat"
+)
+
+// TestFloatFreeViolations proves the analyzer reports every float shape a
+// //imflow:floatfree package can smuggle in: literals, declarations,
+// arithmetic, conversions, float-yielding calls, and a misplaced
+// //imflow:floatboundary directive.
+func TestFloatFreeViolations(t *testing.T) {
+	diags := analyzertest.Run(t, microsfloat.Analyzer, "testdata/floatfree")
+	if len(diags) == 0 {
+		t.Fatal("deliberate-violation fixture produced no diagnostics")
+	}
+}
+
+// TestFloatFreeClean proves the analyzer stays silent on exact integer
+// arithmetic over cost.Micros.
+func TestFloatFreeClean(t *testing.T) {
+	analyzertest.Run(t, microsfloat.Analyzer, "testdata/clean")
+}
+
+// TestBoundaryConversions exercises the repository-wide prong: raw
+// Micros<->float conversions outside the core must go through the
+// sanctioned bridges.
+func TestBoundaryConversions(t *testing.T) {
+	analyzertest.Run(t, microsfloat.Analyzer, "testdata/boundary")
+}
+
+// TestCoreIsFloatFree runs the analyzer over the live float-free roster —
+// the same packages DESIGN.md declares exact — and requires silence. This
+// is the regression gate that keeps the core honest without waiting for
+// the lint driver.
+func TestCoreIsFloatFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	patterns := make([]string, 0, len(microsfloat.FloatFreeRoster))
+	for _, p := range microsfloat.FloatFreeRoster {
+		patterns = append(patterns, p+"/...")
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading core packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no core packages loaded")
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{microsfloat.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("core package not float-free: %s", d)
+	}
+}

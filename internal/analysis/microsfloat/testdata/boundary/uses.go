@@ -1,0 +1,25 @@
+// Package boundary is a fixture for the analyzer's repository-wide rule:
+// packages outside the float-free core may use floats freely, but raw
+// conversions between cost.Micros and floats must go through the two
+// sanctioned bridges (cost.FromMillis, Micros.Millis).
+package boundary
+
+import "imflow/internal/cost"
+
+// scale is ordinary float arithmetic — fine outside the core.
+var scale = 1.5
+
+// Raw converts a Micros straight to float64 instead of using Millis.
+func Raw(m cost.Micros) float64 {
+	return float64(m) // want "converts cost.Micros to float64"
+}
+
+// Parse converts a float straight to Micros instead of using FromMillis.
+func Parse(ms float64) cost.Micros {
+	return cost.Micros(ms) // want "converts float64 to cost.Micros"
+}
+
+// Good uses the sanctioned bridges and must not be reported.
+func Good(m cost.Micros, ms float64) (float64, cost.Micros) {
+	return m.Millis() * scale, cost.FromMillis(ms)
+}

@@ -1,0 +1,23 @@
+// Package clean is a fixture proving the microsfloat analyzer stays
+// silent on a float-free package that actually is float-free: exact
+// integer capacity arithmetic over cost.Micros, as in the real core.
+//
+//imflow:floatfree
+package clean
+
+import "imflow/internal/cost"
+
+// BlocksWithin mirrors the core capacity computation: an exact integer
+// floor division, never a float.
+func BlocksWithin(d, x, c, t cost.Micros) int64 {
+	budget := t - d - x
+	if budget < 0 || c <= 0 {
+		return 0
+	}
+	return int64(budget / c)
+}
+
+// Finish is the integer completion-time recurrence.
+func Finish(d, x, c cost.Micros, k int64) cost.Micros {
+	return d + x + cost.Micros(k)*c
+}

@@ -1,0 +1,32 @@
+// Package floatfree is a deliberately violating fixture for the
+// microsfloat analyzer: a package that declares itself float-free and
+// then breaks the rule in every way the analyzer must catch.
+//
+//imflow:floatfree
+package floatfree
+
+import "imflow/internal/cost"
+
+var ratio = 0.5 // want "declares a float64 value" "floating-point literal 0.5"
+
+// Halve is exact integer arithmetic and must not be reported.
+func Halve(m cost.Micros) cost.Micros { return m / 2 }
+
+// Scale smuggles a float through the capacity computation.
+func Scale(m cost.Micros, f float64) cost.Micros { // want "f declares a float64 value"
+	return cost.Micros(float64(m) * f) // want "conversion to float64" "floating-point arithmetic"
+}
+
+// Report calls the sanctioned accessor, but inside the float-free core
+// even that yields a float.
+func Report(m cost.Micros) float64 {
+	return m.Millis() // want "call yields float64"
+}
+
+// sneaky tries to declare its own conversion boundary; the directive is
+// only honored in imflow/internal/cost.
+//
+//imflow:floatboundary
+func sneaky(ms float64) cost.Micros { // want "only honored in imflow/internal/cost" "ms declares a float64 value"
+	return cost.FromMillis(ms)
+}

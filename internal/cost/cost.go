@@ -7,6 +7,12 @@
 // microseconds therefore loses nothing, and it makes the capacity
 // computation floor((t-D-X)/C) an exact integer division: feasibility
 // decisions can never flip due to floating-point rounding.
+//
+// The microsfloat analyzer (cmd/imflow-lint) enforces that claim: this
+// package is float-free except for the two declared conversion
+// boundaries FromMillis and Micros.Millis.
+//
+//imflow:floatfree
 package cost
 
 import (
@@ -21,15 +27,25 @@ type Micros int64
 const Max Micros = math.MaxInt64
 
 // FromMillis converts a (possibly fractional) millisecond quantity to
-// Micros, rounding to the nearest microsecond.
+// Micros, rounding to the nearest microsecond. It is one of the two
+// declared float boundaries of the integer core.
+//
+//imflow:floatboundary
 func FromMillis(ms float64) Micros {
 	return Micros(math.Round(ms * 1000))
 }
 
-// Millis converts back to floating-point milliseconds for reporting.
+// Millis converts back to floating-point milliseconds for reporting. It
+// is one of the two declared float boundaries of the integer core.
+//
+//imflow:floatboundary
 func (m Micros) Millis() float64 { return float64(m) / 1000 }
 
 // String renders the value as milliseconds with microsecond precision.
+// Formatting for humans goes through Millis, so String is a declared
+// float boundary like the accessor it wraps.
+//
+//imflow:floatboundary
 func (m Micros) String() string {
 	return fmt.Sprintf("%.3fms", m.Millis())
 }

@@ -1,0 +1,23 @@
+//go:build !imflow_audit
+
+package maxflow
+
+import (
+	"testing"
+
+	"imflow/internal/flowgraph"
+)
+
+// TestAuditDisabledByDefault pins the default build's contract: without
+// the imflow_audit tag the hooks are free no-ops, even on a graph any
+// armed audit would reject.
+func TestAuditDisabledByDefault(t *testing.T) {
+	if AuditEnabled {
+		t.Fatal("AuditEnabled true without the imflow_audit build tag")
+	}
+	g := flowgraph.New(2)
+	g.AddEdge(0, 1, 3)
+	g.Flow[0] = 1 // corrupt; an armed audit would panic
+	AuditFlow(g, 0, 1)
+	Audit(g, 0, 1)
+}

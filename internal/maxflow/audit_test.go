@@ -1,0 +1,52 @@
+//go:build imflow_audit
+
+package maxflow
+
+import (
+	"strings"
+	"testing"
+
+	"imflow/internal/flowgraph"
+)
+
+// TestAuditEnabledUnderTag guards the CI invocation: building with
+// -tags imflow_audit must actually arm the hooks.
+func TestAuditEnabledUnderTag(t *testing.T) {
+	if !AuditEnabled {
+		t.Fatal("built with imflow_audit but AuditEnabled is false")
+	}
+}
+
+func TestAuditFlowPanicsOnCorruptFlow(t *testing.T) {
+	g := flowgraph.New(2)
+	g.AddEdge(0, 1, 3)
+	g.Flow[0] = 1 // violates antisymmetry: dual still 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AuditFlow did not panic on corrupt flow")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "imflow_audit") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	AuditFlow(g, 0, 1)
+}
+
+func TestAuditPanicsOnNonMaximalFlow(t *testing.T) {
+	g := flowgraph.New(2)
+	g.AddEdge(0, 1, 3) // zero flow is feasible but not maximal
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Audit did not panic on non-maximal flow")
+		}
+	}()
+	Audit(g, 0, 1)
+}
+
+func TestAuditAcceptsMaximalFlow(t *testing.T) {
+	g, s, snk := buildFixed()
+	NewDinic(g).Run(s, snk)
+	AuditFlow(g, s, snk)
+	Audit(g, s, snk) // must not panic
+}

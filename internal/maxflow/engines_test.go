@@ -44,6 +44,9 @@ func TestEnginesOnRetrievalShapedGraphs(t *testing.T) {
 			if _, err := g.CheckFlow(s, snk); err != nil {
 				t.Fatalf("trial %d: %s: %v", trial, e.Name(), err)
 			}
+			if err := Certify(g, s, snk); err != nil {
+				t.Fatalf("trial %d: %s certificate rejected: %v", trial, e.Name(), err)
+			}
 		}
 	}
 }

@@ -95,6 +95,9 @@ func TestEnginesAgreeOnRandomGraphs(t *testing.T) {
 			if _, err := g.CheckFlow(s, snk); err != nil {
 				t.Fatalf("trial %d: %s produced invalid flow: %v", trial, e.Name(), err)
 			}
+			if err := Certify(g, s, snk); err != nil {
+				t.Fatalf("trial %d: %s certificate rejected: %v", trial, e.Name(), err)
+			}
 		}
 	}
 }

@@ -30,6 +30,15 @@
 // Like the sequential engines, Run starts from the graph's current flow,
 // which is what lets the integrated binary-capacity-scaling algorithm call
 // it repeatedly while conserving flow between calls.
+//
+// The atomicfield analyzer (cmd/imflow-lint) enforces the access
+// discipline mechanically: the Solver fields annotated "(atomic)" may
+// only be touched through sync/atomic outside the functions whose doc
+// comments carry the //imflow:quiescent directive (those run strictly
+// before the workers start, after they have quiesced, or while holding
+// the global-relabel write lock).
+//
+//imflow:floatfree
 package parallel
 
 import (
@@ -98,6 +107,12 @@ func (s *Solver) Threads() int { return s.threads }
 
 // Run augments the graph's current flow to a maximum s-t flow and returns
 // its value.
+//
+// Run touches the atomic arrays plainly only in its sequential sections:
+// the preparation before any worker goroutine starts and the write-back
+// after wg.Wait has quiesced them all.
+//
+//imflow:quiescent
 func (s *Solver) Run(src, sink int) int64 {
 	g := s.g
 	n := g.N
@@ -289,6 +304,8 @@ func (s *Solver) discharge(v, src, sink int) {
 // stranded at frozen vertices is cancelled back along incoming flow paths
 // to the source (flow decomposition). Runs sequentially after the workers
 // have quiesced.
+//
+//imflow:quiescent
 func (s *Solver) drainExcess(src, sink int) {
 	g := s.g
 	flowOn := func(a int32) int64 { return g.Cap[a] - s.res[a] }
@@ -361,7 +378,10 @@ func (s *Solver) drainExcess(src, sink int) {
 
 // cancelCycle removes the flow cycle closed by arc inArc (which carries
 // flow from u to the current path head). pathV[i] is on the path with
-// onPath position i+1.
+// onPath position i+1. Runs only from drainExcess, after the workers
+// have quiesced.
+//
+//imflow:quiescent
 func (s *Solver) cancelCycle(pathV, pathA []int32, u, inArc int32) {
 	g := s.g
 	flowOn := func(a int32) int64 { return g.Cap[a] - s.res[a] }
@@ -399,6 +419,11 @@ func (s *Solver) cancelCycle(pathV, pathA []int32, u, inArc int32) {
 // valid labeling, so the recomputation never lowers a height; vertices the
 // backward BFS does not reach are frozen at n in one step, which is what
 // spares the algorithm the one-relabel-at-a-time herd climb.
+//
+// globalRelabel holds the gr write lock for its whole body, so the
+// dischargers (which hold read locks) are quiesced while it runs.
+//
+//imflow:quiescent
 func (s *Solver) globalRelabel(src, sink int) {
 	s.gr.Lock()
 	defer s.gr.Unlock()
@@ -441,7 +466,10 @@ func (s *Solver) bfsHeights(dist []int64, src, sink int) {
 }
 
 // exactHeights initializes heights to exact residual BFS distances to the
-// sink; vertices that cannot reach the sink start frozen at n.
+// sink; vertices that cannot reach the sink start frozen at n. Runs in
+// Run's sequential preparation, before any worker starts.
+//
+//imflow:quiescent
 func (s *Solver) exactHeights(src, sink int) {
 	g := s.g
 	n := int64(g.N)

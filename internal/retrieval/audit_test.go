@@ -1,0 +1,42 @@
+//go:build imflow_audit
+
+package retrieval
+
+import (
+	"testing"
+
+	"imflow/internal/maxflow"
+)
+
+// TestAuditedSolvers drives every solver over random problems with the
+// audit hooks armed: each engine.Run inside the integrated algorithms is
+// followed by a flow-feasibility or full max-flow = min-cut certificate
+// check that panics on violation, so a pass here means every intermediate
+// flow the solvers produced verified.
+func TestAuditedSolvers(t *testing.T) {
+	if !maxflow.AuditEnabled {
+		t.Fatal("built with imflow_audit but AuditEnabled is false")
+	}
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := problemFromSeed(uint64(trial)*0x9e3779b9+1, trial%2 == 0)
+		var want *Result
+		for name, s := range Solvers(2) {
+			res, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, name, err)
+			}
+			if want == nil {
+				want = res
+				continue
+			}
+			if res.Schedule.ResponseTime != want.Schedule.ResponseTime {
+				t.Fatalf("trial %d: %s response time %v, others got %v",
+					trial, name, res.Schedule.ResponseTime, want.Schedule.ResponseTime)
+			}
+		}
+	}
+}

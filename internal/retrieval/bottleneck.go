@@ -58,6 +58,7 @@ func ExplainBottleneck(p *Problem) (*Bottleneck, *Schedule, error) {
 	net.capsForTime(below)
 	engine := maxflow.NewPushRelabel(net.g)
 	engine.Run(net.s, net.t)
+	maxflow.Audit(net.g, net.s, net.t)
 
 	for k := range net.diskIDs {
 		saturated := net.g.Residual(net.diskArc[k]) == 0

@@ -56,7 +56,9 @@ func (*FFBasic) Solve(p *Problem) (*Result, error) {
 			res.Stats.Increments++
 		}
 		res.Stats.MaxflowRuns++
+		maxflow.AuditFlow(g, net.s, net.t)
 	}
+	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
 	sched, err := net.extractSchedule(p)
 	if err != nil {
@@ -100,7 +102,9 @@ func (*FFIncremental) Solve(p *Problem) (*Result, error) {
 			res.Stats.Increments++
 		}
 		res.Stats.MaxflowRuns++
+		maxflow.AuditFlow(g, net.s, net.t)
 	}
+	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
 	sched, err := net.extractSchedule(p)
 	if err != nil {

@@ -37,7 +37,9 @@ func (*Oracle) Solve(p *Problem) (*Result, error) {
 		net.capsForTime(cands[i])
 		net.g.ZeroFlows()
 		res.Stats.MaxflowRuns++
-		return engine.Run(net.s, net.t) == target
+		flow := engine.Run(net.s, net.t)
+		maxflow.Audit(net.g, net.s, net.t)
+		return flow == target
 	}
 	// sort.Search finds the smallest index whose candidate is feasible;
 	// feasibility is monotone in t because capacities are.
@@ -52,6 +54,7 @@ func (*Oracle) Solve(p *Problem) (*Result, error) {
 	if got := engine.Run(net.s, net.t); got != target {
 		return nil, fmt.Errorf("retrieval: oracle re-run got flow %d, want %d", got, target)
 	}
+	maxflow.Audit(net.g, net.s, net.t)
 	res.Stats.Flow = *engine.Metrics()
 	sched, err := net.extractSchedule(p)
 	if err != nil {

@@ -64,6 +64,7 @@ func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
 		res.Stats.Increments++
 		flow = engine.Run(net.s, net.t)
 		res.Stats.MaxflowRuns++
+		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
 	sched, err := net.extractSchedule(p)
@@ -181,6 +182,7 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 		flow := engine.Run(net.s, net.t)
 		res.Stats.MaxflowRuns++
 		res.Stats.BinarySteps++
+		maxflow.Audit(net.g, net.s, net.t)
 		if flow != target {
 			// Infeasible: keep (store) these flows — they stay valid at
 			// every larger capacity setting — and raise the floor.
@@ -212,6 +214,7 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 	}
 	flow := engine.Run(net.s, net.t)
 	res.Stats.MaxflowRuns++
+	maxflow.Audit(net.g, net.s, net.t)
 	for flow < target {
 		if st.incrementMinCost(net) == cost.Max {
 			return nil, fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
@@ -222,6 +225,7 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 		}
 		flow = engine.Run(net.s, net.t)
 		res.Stats.MaxflowRuns++
+		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
 	sched, err := net.extractSchedule(p)

@@ -3,6 +3,8 @@
 // algorithms that conserve flow across the capacity adjustments of the
 // search (Algorithms 1-6 of the paper), plus the black-box baselines of
 // the prior work they are compared against.
+//
+//imflow:floatfree
 package retrieval
 
 import (

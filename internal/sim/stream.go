@@ -48,7 +48,7 @@ func (p PoissonArrivals) Next(rng *xrand.Source) cost.Micros {
 	if u < 1e-12 {
 		u = 1e-12
 	}
-	return cost.Micros(math.Round(-math.Log(u) * float64(p.Mean)))
+	return cost.FromMillis(-math.Log(u) * p.Mean.Millis())
 }
 
 // Name implements ArrivalProcess.
@@ -127,7 +127,7 @@ func Compare(sys *storage.System, stream []Query, scheds ...Scheduler) ([]Compar
 		if horizon > 0 {
 			for j, tr := range s.Traces() {
 				busy := cost.Micros(tr.Blocks) * sys.Disks[j].Service
-				c.Utilization[j] = float64(busy) / float64(horizon)
+				c.Utilization[j] = busy.Millis() / horizon.Millis()
 			}
 		}
 		out = append(out, c)
