@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fuzz audit check
+.PHONY: build test race lint vet fuzz audit bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,5 +33,15 @@ fuzz:
 ## the max-flow = min-cut certificate checks after every engine run.
 audit:
 	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/...
+
+## bench: regenerate BENCH_retrieval.json — the steady-state integrated
+## solve loop (ns/op, allocs/op, work counters) across every engine on the
+## paper-scale grid. See EXPERIMENTS.md for the field reference.
+bench:
+	$(GO) run ./cmd/imflow-bench -out BENCH_retrieval.json
+
+## bench-smoke: the small configuration CI runs on every push.
+bench-smoke:
+	$(GO) run ./cmd/imflow-bench -smoke -out BENCH_retrieval.json
 
 check: build vet lint test audit race

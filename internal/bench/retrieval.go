@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"imflow/internal/experiment"
+	"imflow/internal/flowgraph"
+	"imflow/internal/maxflow"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+)
+
+// RetrievalOptions configures the steady-state retrieval benchmark suite
+// behind cmd/imflow-bench.
+type RetrievalOptions struct {
+	Ns      []int  // grid sizes to sweep (the system is N x N per site)
+	Queries int    // problems per cell
+	Repeats int    // measured passes over the batch per solver
+	Seed    uint64 // workload seed
+	Threads int    // worker count for the parallel engine
+	ExpNum  int    // Table IV experiment (default 2: generalized, heterogeneous)
+
+	// BaselineMaxN caps the grid size for the quadratic reference engines
+	// (Edmonds-Karp, relabel-to-front, scaling EK). On an N x N grid a range
+	// query reaches O(N^2) buckets, and those engines are superlinear in the
+	// vertex count — at N=60 relabel-to-front alone needs tens of minutes,
+	// which would make `make bench` irreproducible in practice. Cells larger
+	// than this run only the paper's solvers and the near-linear engines.
+	BaselineMaxN int
+}
+
+// withDefaults fills zero fields with the paper-scale defaults.
+func (o RetrievalOptions) withDefaults() RetrievalOptions {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{20, 60, 100}
+	}
+	if o.Queries <= 0 {
+		o.Queries = 20
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Threads <= 0 {
+		o.Threads = 2
+	}
+	if o.ExpNum == 0 {
+		o.ExpNum = 2
+	}
+	if o.BaselineMaxN <= 0 {
+		o.BaselineMaxN = 32
+	}
+	return o
+}
+
+// SmokeRetrievalOptions returns the small configuration the CI smoke job
+// runs: one tiny cell, still covering every solver.
+func SmokeRetrievalOptions() RetrievalOptions {
+	return RetrievalOptions{Ns: []int{10}, Queries: 6, Repeats: 2}.withDefaults()
+}
+
+// RetrievalRecord is one (cell, solver) measurement of the steady-state
+// integrated solve loop. All *_per_op fields are averages over
+// repeats x queries SolveInto calls.
+type RetrievalRecord struct {
+	Cell           string  `json:"cell"`
+	N              int     `json:"n"`
+	Solver         string  `json:"solver"`
+	Engine         string  `json:"engine"`
+	Queries        int     `json:"queries"`
+	Repeats        int     `json:"repeats"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	MaxflowRuns    float64 `json:"maxflow_runs_per_op"`
+	Increments     float64 `json:"increments_per_op"`
+	BinarySteps    float64 `json:"binary_steps_per_op"`
+	AugmentingPath float64 `json:"augmenting_paths_per_op"`
+	Pushes         float64 `json:"pushes_per_op"`
+	Relabels       float64 `json:"relabels_per_op"`
+	GlobalRelabels float64 `json:"global_relabels_per_op"`
+	ArcScans       float64 `json:"arc_scans_per_op"`
+	MeanResponseUs float64 `json:"mean_response_us"`
+}
+
+// RetrievalReport is the BENCH_retrieval.json document.
+type RetrievalReport struct {
+	Schema    string            `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Audit     bool              `json:"audit_build"`
+	Options   RetrievalOptions  `json:"options"`
+	Records   []RetrievalRecord `json:"records"`
+}
+
+// benchSolver pairs a solver constructor with whether it is a quadratic
+// reference baseline (subject to RetrievalOptions.BaselineMaxN).
+type benchSolver struct {
+	mk       func() retrieval.ReusableSolver
+	baseline bool
+}
+
+// retrievalSolvers enumerates every benchmarked solver: the integrated
+// algorithms of the paper, the black-box baseline, and the Algorithm 6
+// control flow driven by each remaining max-flow engine family.
+func retrievalSolvers(threads int) []benchSolver {
+	return []benchSolver{
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewFFIncremental() }},
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRIncremental() }},
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinary() }},
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryBlackBox() }},
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryHighestLabel() }},
+		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryParallel(threads) }},
+		{baseline: true, mk: func() retrieval.ReusableSolver {
+			return retrieval.NewPRBinaryWithEngine("pr-binary-ek",
+				func(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewEdmondsKarp(g) })
+		}},
+		{mk: func() retrieval.ReusableSolver {
+			return retrieval.NewPRBinaryWithEngine("pr-binary-dinic",
+				func(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewDinic(g) })
+		}},
+		{baseline: true, mk: func() retrieval.ReusableSolver {
+			return retrieval.NewPRBinaryWithEngine("pr-binary-rtf",
+				func(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewRelabelToFront(g) })
+		}},
+		{baseline: true, mk: func() retrieval.ReusableSolver {
+			return retrieval.NewPRBinaryWithEngine("pr-binary-scaling-ek",
+				func(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewScalingEdmondsKarp(g) })
+		}},
+	}
+}
+
+// RunRetrieval executes the steady-state retrieval suite and returns the
+// report. Every solver is warmed on the full batch (two passes, letting all
+// reused buffers converge to the cell's peak problem shape) and then timed
+// over Repeats further passes with allocation counters around the loop.
+func RunRetrieval(o RetrievalOptions) (*RetrievalReport, error) {
+	o = o.withDefaults()
+	report := &RetrievalReport{
+		Schema:    "imflow/bench-retrieval/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Audit:     maxflow.AuditEnabled,
+		Options:   o,
+	}
+	for _, n := range o.Ns {
+		cfg := experiment.Config{
+			ExpNum:  o.ExpNum,
+			Alloc:   experiment.RDA,
+			Type:    query.Range,
+			Load:    query.Load2,
+			N:       n,
+			Queries: o.Queries,
+			Seed:    o.Seed + uint64(n)*1000003,
+		}
+		inst, err := cfg.Build()
+		if err != nil {
+			return nil, err
+		}
+		// All solvers are optimal, so their response times on the shared
+		// batch must agree; the first solver anchors the cross-check.
+		var anchor []int64
+		for _, bs := range retrievalSolvers(o.Threads) {
+			if bs.baseline && n > o.BaselineMaxN {
+				continue
+			}
+			rec, responses, err := measureReusable(bs.mk(), inst.Problems, o.Repeats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: %w", cfg, err)
+			}
+			if anchor == nil {
+				anchor = responses
+			} else {
+				for i := range anchor {
+					if anchor[i] != responses[i] {
+						return nil, fmt.Errorf("bench: cell %s: %s response %d on query %d, expected %d",
+							cfg, rec.Solver, responses[i], i, anchor[i])
+					}
+				}
+			}
+			rec.Cell = cfg.String()
+			rec.N = n
+			report.Records = append(report.Records, rec)
+		}
+	}
+	return report, nil
+}
+
+// measureReusable times the steady-state SolveInto loop of one solver over
+// one problem batch and returns the record plus the per-problem response
+// times for cross-checking.
+func measureReusable(s retrieval.ReusableSolver, problems []*retrieval.Problem, repeats int) (RetrievalRecord, []int64, error) {
+	rec := RetrievalRecord{Solver: s.Name(), Queries: len(problems), Repeats: repeats}
+	res := &retrieval.Result{}
+	responses := make([]int64, len(problems))
+	// Warm-up: two full passes size every reused buffer to the batch's
+	// peak shape, so the measured passes see the steady state.
+	for pass := 0; pass < 2; pass++ {
+		for i, p := range problems {
+			if err := s.SolveInto(p, res); err != nil {
+				return rec, nil, err
+			}
+			responses[i] = int64(res.Schedule.ResponseTime)
+		}
+	}
+	rec.Engine = res.Stats.Engine
+
+	var work WorkTotals
+	var augment, globalRelabels int64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < repeats; r++ {
+		for _, p := range problems {
+			if err := s.SolveInto(p, res); err != nil {
+				return rec, nil, err
+			}
+			work.add(&res.Stats)
+			augment += res.Stats.Flow.Augmentations
+			globalRelabels += res.Stats.Flow.GlobalRelabels
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	ops := float64(repeats * len(problems))
+	rec.NsPerOp = float64(elapsed.Nanoseconds()) / ops
+	rec.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / ops
+	rec.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / ops
+	rec.MaxflowRuns = float64(work.MaxflowRuns) / ops
+	rec.Increments = float64(work.Increments) / ops
+	rec.BinarySteps = float64(work.BinarySteps) / ops
+	rec.AugmentingPath = float64(augment) / ops
+	rec.Pushes = float64(work.Pushes) / ops
+	rec.Relabels = float64(work.Relabels) / ops
+	rec.GlobalRelabels = float64(globalRelabels) / ops
+	rec.ArcScans = float64(work.ArcScans) / ops
+	var sum int64
+	for _, r := range responses {
+		sum += r
+	}
+	if len(responses) > 0 {
+		rec.MeanResponseUs = float64(sum) / float64(len(responses))
+	}
+	return rec, responses, nil
+}

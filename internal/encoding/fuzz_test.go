@@ -19,6 +19,11 @@ func FuzzReadProblem(f *testing.F) {
 	f.Add(`{"disks":[{"service_ms":-1}],"buckets":[[0]]}`)
 	f.Add(`garbage`)
 	f.Add(`{"disks":[{"service_ms":1e308}],"buckets":[[0]]}`)
+	// Overflow-adjacent shapes: delay+load past the time axis, a first
+	// block that saturates the clock, and a valid near-boundary instance.
+	f.Add(`{"disks":[{"service_ms":1,"delay_ms":9.3e15,"load_ms":9.3e15}],"buckets":[[0]]}`)
+	f.Add(`{"disks":[{"service_ms":1,"delay_ms":9.223372e15}],"buckets":[[0]]}`)
+	f.Add(`{"disks":[{"service_ms":8e12,"delay_ms":1e15,"load_ms":1e15}],"buckets":[[0]]}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		p, err := ReadProblem(strings.NewReader(input))
 		if err != nil {

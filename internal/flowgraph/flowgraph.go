@@ -42,13 +42,30 @@ func New(n int) *Graph {
 // Reset removes all arcs but keeps the vertex count, allowing the backing
 // arrays to be reused across queries.
 func (g *Graph) Reset() {
+	g.Resize(g.N)
+}
+
+// Resize removes all arcs and sets the vertex count to n, reusing every
+// backing array (Head grows only when n exceeds its capacity). Together
+// with AddEdge this is the in-place rebuild path of the integrated
+// retrieval solvers: after the first solve on a given problem shape, a
+// Resize + AddEdge sweep performs no allocations.
+func (g *Graph) Resize(n int) {
+	if n < 0 {
+		panic("flowgraph: negative vertex count")
+	}
 	g.To = g.To[:0]
 	g.Cap = g.Cap[:0]
 	g.Flow = g.Flow[:0]
 	g.Next = g.Next[:0]
+	if cap(g.Head) < n {
+		g.Head = make([]int32, n)
+	}
+	g.Head = g.Head[:n]
 	for i := range g.Head {
 		g.Head[i] = -1
 	}
+	g.N = n
 }
 
 // M returns the number of arcs, counting each edge's forward and reverse

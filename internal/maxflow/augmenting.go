@@ -10,9 +10,17 @@ type FordFulkerson struct {
 	g       *flowgraph.Graph
 	visited []int32 // visitation stamps, avoiding O(n) clears per DFS
 	stamp   int32
-	arcs    []int32 // DFS arc stack (the path when the sink is reached)
-	verts   []int32 // DFS vertex stack parallel to arcs
+	arcs    []int32    // DFS arc stack (the path when the sink is reached)
+	verts   []int32    // DFS vertex stack parallel to arcs
+	stack   []dfsFrame // explicit DFS frame stack, reused across searches
 	metrics Metrics
+}
+
+// dfsFrame is one suspended vertex of the iterative DFS: the vertex and
+// the next arc to try out of it.
+type dfsFrame struct {
+	v   int32
+	arc int32
 }
 
 // NewFordFulkerson returns an engine bound to g.
@@ -25,6 +33,22 @@ func (f *FordFulkerson) Name() string { return "ford-fulkerson-dfs" }
 
 // Metrics implements Engine.
 func (f *FordFulkerson) Metrics() *Metrics { return &f.metrics }
+
+// Reset implements Engine: re-sync the visitation array with the (possibly
+// rebuilt) graph and restart the stamp sequence.
+func (f *FordFulkerson) Reset() {
+	if cap(f.visited) < f.g.N {
+		f.visited = make([]int32, f.g.N)
+	}
+	f.visited = f.visited[:f.g.N]
+	for i := range f.visited {
+		f.visited[i] = 0
+	}
+	f.stamp = 0
+	f.arcs = f.arcs[:0]
+	f.verts = f.verts[:0]
+	f.stack = f.stack[:0]
+}
 
 // Run augments the current flow to a maximum flow and returns its value.
 func (f *FordFulkerson) Run(s, t int) int64 {
@@ -82,14 +106,10 @@ func (f *FordFulkerson) dfs(from, t int) bool {
 		return true
 	}
 	f.visited[from] = f.stamp
-	// Explicit stack of (vertex, next arc to try).
-	type frame struct {
-		v   int32
-		arc int32
-	}
-	stack := []frame{{int32(from), g.Head[from]}}
-	for len(stack) > 0 {
-		top := &stack[len(stack)-1]
+	// Explicit stack of (vertex, next arc to try), reused across calls.
+	f.stack = append(f.stack[:0], dfsFrame{int32(from), g.Head[from]})
+	for len(f.stack) > 0 {
+		top := &f.stack[len(f.stack)-1]
 		advanced := false
 		for a := top.arc; a >= 0; a = g.Next[a] {
 			f.metrics.ArcScans++
@@ -103,12 +123,12 @@ func (f *FordFulkerson) dfs(from, t int) bool {
 				return true
 			}
 			f.visited[w] = f.stamp
-			stack = append(stack, frame{w, g.Head[w]})
+			f.stack = append(f.stack, dfsFrame{w, g.Head[w]})
 			advanced = true
 			break
 		}
 		if !advanced {
-			stack = stack[:len(stack)-1]
+			f.stack = f.stack[:len(f.stack)-1]
 			if len(f.arcs) > 0 {
 				f.arcs = f.arcs[:len(f.arcs)-1]
 			}
@@ -137,6 +157,15 @@ func (e *EdmondsKarp) Name() string { return "edmonds-karp" }
 
 // Metrics implements Engine.
 func (e *EdmondsKarp) Metrics() *Metrics { return &e.metrics }
+
+// Reset implements Engine: re-sync the parent array with the graph.
+func (e *EdmondsKarp) Reset() {
+	if cap(e.parent) < e.g.N {
+		e.parent = make([]int32, e.g.N)
+	}
+	e.parent = e.parent[:e.g.N]
+	e.queue = e.queue[:0]
+}
 
 // Run augments the current flow to a maximum flow and returns its value.
 func (e *EdmondsKarp) Run(s, t int) int64 {

@@ -25,6 +25,18 @@ func (d *Dinic) Name() string { return "dinic" }
 // Metrics implements Engine.
 func (d *Dinic) Metrics() *Metrics { return &d.metrics }
 
+// Reset implements Engine: re-sync the level/iterator arrays with the
+// (possibly rebuilt) graph.
+func (d *Dinic) Reset() {
+	if cap(d.level) < d.g.N {
+		d.level = make([]int32, d.g.N)
+		d.iter = make([]int32, d.g.N)
+	}
+	d.level = d.level[:d.g.N]
+	d.iter = d.iter[:d.g.N]
+	d.queue = d.queue[:0]
+}
+
 // Run augments the current flow to a maximum flow and returns its value.
 func (d *Dinic) Run(s, t int) int64 {
 	g := d.g

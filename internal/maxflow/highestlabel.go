@@ -17,6 +17,7 @@ type HighestLabel struct {
 	excess []int64
 	curArc []int32
 	hcount []int32
+	bfsq   []int32 // scratch queue for globalRelabel, reused across runs
 
 	// active[h] is a stack (LIFO) of active vertices at height h;
 	// inBucket tracks membership to avoid duplicates.
@@ -49,6 +50,12 @@ func (hl *HighestLabel) Name() string { return "push-relabel-highest" }
 
 // Metrics implements Engine.
 func (hl *HighestLabel) Metrics() *Metrics { return &hl.metrics }
+
+// Reset implements Engine: re-sync scratch with the (possibly rebuilt)
+// graph. Run re-derives all per-run state, so only sizing matters here.
+func (hl *HighestLabel) Reset() {
+	hl.ensureSize(hl.g.N)
+}
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
@@ -249,7 +256,7 @@ func (hl *HighestLabel) globalRelabel(s, t int) {
 	}
 	bfs := func(root int, base int32) {
 		hl.height[root] = base
-		q := append([]int32(nil), int32(root))
+		q := append(hl.bfsq[:0], int32(root))
 		for head := 0; head < len(q); head++ {
 			v := q[head]
 			for a := g.Head[v]; a >= 0; a = g.Next[a] {
@@ -261,6 +268,7 @@ func (hl *HighestLabel) globalRelabel(s, t int) {
 				}
 			}
 		}
+		hl.bfsq = q
 	}
 	bfs(t, 0)
 	hl.height[s] = n

@@ -18,9 +18,19 @@ import "imflow/internal/flowgraph"
 // Engine is a maximum-flow solver operating on a shared residual graph.
 // Run augments the graph's current flow to a maximum s-t flow and returns
 // the resulting flow value.
+//
+// Reset prepares the engine for reuse after its graph has been rebuilt in
+// place (flowgraph.Resize/Reset followed by AddEdge calls): internal
+// scratch arrays are re-synced to the graph's current dimensions —
+// growing only when the graph outgrew them, never reallocating otherwise
+// — and any state carried across Run calls (visitation stamps, queues)
+// is cleared. Metrics survive Reset; they are cumulative for the
+// engine's lifetime. The integrated retrieval solvers call Reset once
+// per query so the steady-state solve path performs no allocations.
 type Engine interface {
 	Name() string
 	Run(s, t int) int64
+	Reset()
 	Metrics() *Metrics
 }
 

@@ -55,11 +55,20 @@ import (
 type Solver struct {
 	g       *flowgraph.Graph
 	threads int
+	name    string
 
 	res     []int64 // residual capacity per arc (atomic)
 	excess  []int64 // per-vertex excess (atomic)
 	height  []int64 // per-vertex height (atomic)
 	inQueue []int32 // 1 from enqueue until discharge completes (atomic)
+
+	// Sequential-phase scratch, reused across runs. Only touched in the
+	// //imflow:quiescent sections.
+	dist   []int64 // globalRelabel height recomputation
+	bfsq   []int32 // BFS queues of exactHeights/bfsHeights
+	onPath []int32 // drainExcess path membership
+	pathV  []int32 // drainExcess vertex path
+	pathA  []int32 // drainExcess arc path
 
 	queue   chan int32
 	pending atomic.Int64
@@ -90,14 +99,32 @@ func New(g *flowgraph.Graph, threads int) *Solver {
 	return &Solver{
 		g:       g,
 		threads: threads,
+		name:    fmt.Sprintf("push-relabel-parallel(%d)", threads),
 		excess:  make([]int64, g.N),
 		height:  make([]int64, g.N),
 		inQueue: make([]int32, g.N),
 	}
 }
 
-// Name implements maxflow.Engine.
-func (s *Solver) Name() string { return fmt.Sprintf("push-relabel-parallel(%d)", s.threads) }
+// Name implements maxflow.Engine. The string is precomputed so the hot
+// solve path never formats.
+func (s *Solver) Name() string { return s.name }
+
+// Reset implements maxflow.Engine: re-sync the atomic arrays with the
+// (possibly rebuilt) graph. Run re-derives all per-run state. Reset runs
+// strictly between Runs, with no workers live.
+//
+//imflow:quiescent
+func (s *Solver) Reset() {
+	if cap(s.excess) < s.g.N {
+		s.excess = make([]int64, s.g.N)
+		s.height = make([]int64, s.g.N)
+		s.inQueue = make([]int32, s.g.N)
+	}
+	s.excess = s.excess[:s.g.N]
+	s.height = s.height[:s.g.N]
+	s.inQueue = s.inQueue[:s.g.N]
+}
 
 // Metrics implements maxflow.Engine.
 func (s *Solver) Metrics() *maxflow.Metrics { return &s.metrics }
@@ -143,7 +170,12 @@ func (s *Solver) Run(src, sink int) int64 {
 	}
 	s.exactHeights(src, sink)
 
-	s.queue = make(chan int32, n+s.threads)
+	// The work channel drains completely before the workers exit (pending
+	// only reaches zero once every sent vertex has been popped), so it can
+	// be reused whenever its capacity still fits the graph.
+	if cap(s.queue) < n+s.threads {
+		s.queue = make(chan int32, n+s.threads)
+	}
 	s.done = make(chan struct{})
 	s.pending.Store(0)
 	s.grWork.Store(0)
@@ -310,8 +342,15 @@ func (s *Solver) drainExcess(src, sink int) {
 	g := s.g
 	flowOn := func(a int32) int64 { return g.Cap[a] - s.res[a] }
 	// DFS stack of (vertex, incoming arc used); cancel when the source is
-	// reached, cancel cycles when a vertex repeats on the path.
-	onPath := make([]int32, g.N) // 1-based position on the current path, 0 = off
+	// reached, cancel cycles when a vertex repeats on the path. All three
+	// path buffers are reused across runs.
+	if cap(s.onPath) < g.N {
+		s.onPath = make([]int32, g.N)
+	}
+	onPath := s.onPath[:g.N] // 1-based position on the current path, 0 = off
+	for i := range onPath {
+		onPath[i] = 0
+	}
 	for v := 0; v < g.N; v++ {
 		if v == src || v == sink {
 			continue
@@ -319,8 +358,9 @@ func (s *Solver) drainExcess(src, sink int) {
 		for s.excess[v] > 0 {
 			// Walk backwards along arcs currently carrying flow into the
 			// path head until we reach the source or close a cycle.
-			pathV := []int32{int32(v)}
-			pathA := []int32{-1} // pathA[i]: forward arc carrying flow into pathV[i]
+			pathV := append(s.pathV[:0], int32(v))
+			pathA := append(s.pathA[:0], -1) // pathA[i]: forward arc carrying flow into pathV[i]
+			cancelled := false
 			onPath[v] = 1
 			head := int32(v)
 			for int(head) != src {
@@ -345,7 +385,7 @@ func (s *Solver) drainExcess(src, sink int) {
 					for _, pv := range pathV {
 						onPath[pv] = 0
 					}
-					pathV, pathA = nil, nil
+					cancelled = true
 					break
 				}
 				pathV = append(pathV, u)
@@ -353,7 +393,8 @@ func (s *Solver) drainExcess(src, sink int) {
 				onPath[u] = int32(len(pathV))
 				head = u
 			}
-			if pathV == nil {
+			s.pathV, s.pathA = pathV[:0], pathA[:0]
+			if cancelled {
 				continue // cycle cancelled; retry
 			}
 			// Cancel min(excess, path bottleneck) along the whole path.
@@ -432,7 +473,10 @@ func (s *Solver) globalRelabel(src, sink int) {
 	}
 	n := int64(s.g.N)
 	old := s.height
-	dist := make([]int64, s.g.N)
+	if cap(s.dist) < s.g.N {
+		s.dist = make([]int64, s.g.N)
+	}
+	dist := s.dist[:s.g.N]
 	for i := range dist {
 		dist[i] = n
 	}
@@ -452,7 +496,7 @@ func (s *Solver) bfsHeights(dist []int64, src, sink int) {
 	g := s.g
 	n := int64(g.N)
 	dist[sink] = 0
-	q := append([]int32(nil), int32(sink))
+	q := append(s.bfsq[:0], int32(sink))
 	for head := 0; head < len(q); head++ {
 		v := q[head]
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
@@ -463,6 +507,7 @@ func (s *Solver) bfsHeights(dist []int64, src, sink int) {
 			}
 		}
 	}
+	s.bfsq = q
 }
 
 // exactHeights initializes heights to exact residual BFS distances to the
@@ -477,7 +522,7 @@ func (s *Solver) exactHeights(src, sink int) {
 		s.height[v] = n
 	}
 	s.height[sink] = 0
-	q := append([]int32(nil), int32(sink))
+	q := append(s.bfsq[:0], int32(sink))
 	for head := 0; head < len(q); head++ {
 		v := q[head]
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
@@ -489,5 +534,6 @@ func (s *Solver) exactHeights(src, sink int) {
 			}
 		}
 	}
+	s.bfsq = q
 	s.height[src] = n
 }

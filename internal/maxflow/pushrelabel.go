@@ -32,6 +32,7 @@ type PushRelabel struct {
 	queue   []int32
 	inQueue []bool
 	hcount  []int32 // number of vertices at each height, for the gap heuristic
+	bfsq    []int32 // scratch queue for globalRelabel, reused across runs
 
 	// GlobalRelabelInterval is the number of relabel operations between
 	// exact-height recomputations; 0 restores the default (the vertex
@@ -59,6 +60,13 @@ func (pr *PushRelabel) Name() string { return "push-relabel-fifo" }
 
 // Metrics implements Engine.
 func (pr *PushRelabel) Metrics() *Metrics { return &pr.metrics }
+
+// Reset implements Engine: re-sync scratch with the (possibly rebuilt)
+// graph. Run re-derives all per-run state, so only sizing matters here.
+func (pr *PushRelabel) Reset() {
+	pr.ensureSize(pr.g.N)
+	pr.queue = pr.queue[:0]
+}
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
@@ -95,8 +103,11 @@ func (pr *PushRelabel) Run(s, t int) int64 {
 		}
 	}
 
-	for len(pr.queue) > 0 {
-		v := pr.dequeue()
+	// FIFO scan by index: the slice is never re-sliced from the front, so
+	// its backing array converges to the run's peak queue length and
+	// steady-state runs stay allocation-free.
+	for head := 0; head < len(pr.queue); head++ {
+		v := pr.queue[head]
 		pr.inQueue[v] = false
 		relabeled := pr.discharge(int(v), s, t)
 		if pr.excess[v] > 0 && int(v) != s && int(v) != t {
@@ -212,10 +223,11 @@ func (pr *PushRelabel) globalRelabel(s, t int) {
 		pr.hcount[i] = 0
 	}
 	// Backward BFS from t over residual arcs u->v (the dual of each arc
-	// v->u in v's adjacency list).
+	// v->u in v's adjacency list). The queue is a reused scratch slice so
+	// the periodic recomputation stays allocation-free.
 	bfs := func(root int, base int32) {
 		pr.height[root] = base
-		q := append([]int32(nil), int32(root))
+		q := append(pr.bfsq[:0], int32(root))
 		for head := 0; head < len(q); head++ {
 			v := q[head]
 			for a := g.Head[v]; a >= 0; a = g.Next[a] {
@@ -228,6 +240,7 @@ func (pr *PushRelabel) globalRelabel(s, t int) {
 				}
 			}
 		}
+		pr.bfsq = q
 	}
 	bfs(t, 0)
 	pr.height[s] = n
@@ -240,15 +253,6 @@ func (pr *PushRelabel) globalRelabel(s, t int) {
 func (pr *PushRelabel) enqueue(v int32) {
 	pr.queue = append(pr.queue, v)
 	pr.inQueue[v] = true
-}
-
-func (pr *PushRelabel) dequeue() int32 {
-	v := pr.queue[0]
-	pr.queue = pr.queue[1:]
-	if len(pr.queue) == 0 {
-		pr.queue = pr.queue[:0:cap(pr.queue)]
-	}
-	return v
 }
 
 func (pr *PushRelabel) ensureSize(n int) {

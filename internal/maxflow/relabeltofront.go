@@ -13,6 +13,7 @@ type RelabelToFront struct {
 	height  []int32
 	excess  []int64
 	curArc  []int32
+	list    []int32 // the textbook L list, reused across runs
 	metrics Metrics
 }
 
@@ -31,6 +32,20 @@ func (rt *RelabelToFront) Name() string { return "push-relabel-rtf" }
 
 // Metrics implements Engine.
 func (rt *RelabelToFront) Metrics() *Metrics { return &rt.metrics }
+
+// Reset implements Engine: re-sync scratch with the (possibly rebuilt)
+// graph. Run re-derives all per-run state, so only sizing matters here.
+func (rt *RelabelToFront) Reset() {
+	if cap(rt.height) < rt.g.N {
+		rt.height = make([]int32, rt.g.N)
+		rt.excess = make([]int64, rt.g.N)
+		rt.curArc = make([]int32, rt.g.N)
+	}
+	rt.height = rt.height[:rt.g.N]
+	rt.excess = rt.excess[:rt.g.N]
+	rt.curArc = rt.curArc[:rt.g.N]
+	rt.list = rt.list[:0]
+}
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
@@ -56,13 +71,15 @@ func (rt *RelabelToFront) Run(s, t int) int64 {
 		}
 	}
 
-	// The textbook L list: all vertices except s and t, any order.
-	list := make([]int32, 0, n-2)
+	// The textbook L list: all vertices except s and t, any order. The
+	// backing array is reused across runs.
+	list := rt.list[:0]
 	for v := 0; v < n; v++ {
 		if v != s && v != t {
 			list = append(list, int32(v))
 		}
 	}
+	rt.list = list
 	for i := 0; i < len(list); {
 		v := list[i]
 		oldHeight := rt.height[v]
@@ -139,6 +156,15 @@ func (e *ScalingEdmondsKarp) Name() string { return "edmonds-karp-scaling" }
 
 // Metrics implements Engine.
 func (e *ScalingEdmondsKarp) Metrics() *Metrics { return &e.metrics }
+
+// Reset implements Engine: re-sync the parent array with the graph.
+func (e *ScalingEdmondsKarp) Reset() {
+	if cap(e.parent) < e.g.N {
+		e.parent = make([]int32, e.g.N)
+	}
+	e.parent = e.parent[:e.g.N]
+	e.queue = e.queue[:0]
+}
 
 // Run augments the current flow to a maximum flow and returns its value.
 func (e *ScalingEdmondsKarp) Run(s, t int) int64 {

@@ -18,7 +18,10 @@ import (
 // On heterogeneous instances the schedule it returns minimizes the maximum
 // per-disk bucket count, not the response time; Solve rejects problems
 // whose disks are not identical so the algorithm is never silently misused.
-type FFBasic struct{}
+type FFBasic struct {
+	net network
+	ff  *maxflow.FordFulkerson
+}
 
 // NewFFBasic returns the Algorithm 1 solver.
 func NewFFBasic() *FFBasic { return &FFBasic{} }
@@ -27,17 +30,33 @@ func NewFFBasic() *FFBasic { return &FFBasic{} }
 func (*FFBasic) Name() string { return "ff-basic" }
 
 // Solve implements Solver.
-func (*FFBasic) Solve(p *Problem) (*Result, error) {
-	if err := p.Validate(); err != nil {
+func (s *FFBasic) Solve(p *Problem) (*Result, error) {
+	res := &Result{}
+	if err := s.SolveInto(p, res); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// SolveInto implements ReusableSolver.
+func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	if err := requireHomogeneous(p); err != nil {
-		return nil, err
+		return err
 	}
-	net := buildNetwork(p)
+	net := &s.net
+	net.rebuild(p)
 	g := net.g
-	ff := maxflow.NewFordFulkerson(g)
-	res := &Result{Stats: Stats{Engine: ff.Name()}}
+	if s.ff == nil {
+		s.ff = maxflow.NewFordFulkerson(g)
+	} else {
+		s.ff.Reset()
+	}
+	ff := s.ff
+	*ff.Metrics() = maxflow.Metrics{}
+	res.Stats = Stats{Engine: ff.Name()}
 
 	// caps[e] <- ceil(|Q|/N), the theoretical lower bound, over all N
 	// disks in the system (the paper divides by the total disk count).
@@ -60,12 +79,10 @@ func (*FFBasic) Solve(p *Problem) (*Result, error) {
 	}
 	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
-	sched, err := net.extractSchedule(p)
-	if err != nil {
-		return nil, err
+	if res.Schedule == nil {
+		res.Schedule = &Schedule{}
 	}
-	res.Schedule = sched
-	return res, nil
+	return net.extractScheduleInto(p, res.Schedule)
 }
 
 // FFIncremental is Algorithm 2 of the paper: the integrated Ford-Fulkerson
@@ -74,7 +91,11 @@ func (*FFBasic) Solve(p *Problem) (*Result, error) {
 // whose next-unit completion cost D + X + (cap+1)*C is minimal are
 // incremented (Algorithm 3). The flow found for earlier buckets is
 // conserved throughout — the DFS works on the same residual graph.
-type FFIncremental struct{}
+type FFIncremental struct {
+	net network
+	ff  *maxflow.FordFulkerson
+	st  incrementState
+}
 
 // NewFFIncremental returns the Algorithm 2 solver.
 func NewFFIncremental() *FFIncremental { return &FFIncremental{} }
@@ -83,21 +104,37 @@ func NewFFIncremental() *FFIncremental { return &FFIncremental{} }
 func (*FFIncremental) Name() string { return "ff-incremental" }
 
 // Solve implements Solver.
-func (*FFIncremental) Solve(p *Problem) (*Result, error) {
-	if err := p.Validate(); err != nil {
+func (s *FFIncremental) Solve(p *Problem) (*Result, error) {
+	res := &Result{}
+	if err := s.SolveInto(p, res); err != nil {
 		return nil, err
 	}
-	net := buildNetwork(p)
+	return res, nil
+}
+
+// SolveInto implements ReusableSolver.
+func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	net := &s.net
+	net.rebuild(p)
 	g := net.g
-	ff := maxflow.NewFordFulkerson(g)
-	st := newIncrementState(net)
-	res := &Result{Stats: Stats{Engine: ff.Name()}}
+	if s.ff == nil {
+		s.ff = maxflow.NewFordFulkerson(g)
+	} else {
+		s.ff.Reset()
+	}
+	ff := s.ff
+	*ff.Metrics() = maxflow.Metrics{}
+	s.st.reset(net)
+	res.Stats = Stats{Engine: ff.Name()}
 
 	for i := 0; i < net.q; i++ {
 		g.Push(net.srcArc[i], 1)
 		for ff.AugmentFromAvoiding(net.bucketVertex(i), net.t, net.s) == 0 {
-			if st.incrementMinCost(net) == cost.Max {
-				return nil, fmt.Errorf("retrieval: bucket %d unroutable with all disk edges saturated", i)
+			if s.st.incrementMinCost(net) == cost.Max {
+				return fmt.Errorf("retrieval: bucket %d unroutable with all disk edges saturated", i)
 			}
 			res.Stats.Increments++
 		}
@@ -106,12 +143,10 @@ func (*FFIncremental) Solve(p *Problem) (*Result, error) {
 	}
 	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
-	sched, err := net.extractSchedule(p)
-	if err != nil {
-		return nil, err
+	if res.Schedule == nil {
+		res.Schedule = &Schedule{}
 	}
-	res.Schedule = sched
-	return res, nil
+	return net.extractScheduleInto(p, res.Schedule)
 }
 
 // requireHomogeneous rejects problems whose disks differ in any parameter.

@@ -35,6 +35,9 @@ func ParallelEngine(threads int) EngineFactory {
 // in practice.
 type PRIncremental struct {
 	factory EngineFactory
+	net     network
+	engine  maxflow.Engine
+	st      incrementState
 }
 
 // NewPRIncremental returns the Algorithm 5 solver with the sequential
@@ -48,18 +51,34 @@ func (*PRIncremental) Name() string { return "pr-incremental" }
 
 // Solve implements Solver.
 func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	res := &Result{}
+	if err := s.SolveInto(p, res); err != nil {
 		return nil, err
 	}
-	net := buildNetwork(p)
-	engine := s.factory(net.g)
-	res := &Result{Stats: Stats{Engine: engine.Name()}}
-	st := newIncrementState(net)
+	return res, nil
+}
+
+// SolveInto implements ReusableSolver.
+func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	net := &s.net
+	net.rebuild(p)
+	if s.engine == nil {
+		s.engine = s.factory(net.g)
+	} else {
+		s.engine.Reset()
+	}
+	engine := s.engine
+	*engine.Metrics() = maxflow.Metrics{}
+	s.st.reset(net)
+	res.Stats = Stats{Engine: engine.Name()}
 	target := int64(net.q)
 	var flow int64
 	for flow < target {
-		if st.incrementMinCost(net) == cost.Max {
-			return nil, fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+		if s.st.incrementMinCost(net) == cost.Max {
+			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
 		}
 		res.Stats.Increments++
 		flow = engine.Run(net.s, net.t)
@@ -67,12 +86,10 @@ func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
 		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
-	sched, err := net.extractSchedule(p)
-	if err != nil {
-		return nil, err
+	if res.Schedule == nil {
+		res.Schedule = &Schedule{}
 	}
-	res.Schedule = sched
-	return res, nil
+	return net.extractScheduleInto(p, res.Schedule)
 }
 
 // PRBinary is Algorithm 6: the integrated push-relabel solver with binary
@@ -90,6 +107,10 @@ type PRBinary struct {
 	name     string
 	factory  EngineFactory
 	conserve bool
+	net      network
+	engine   maxflow.Engine
+	st       incrementState
+	saved    []int64
 }
 
 // NewPRBinary returns the integrated Algorithm 6 solver (sequential
@@ -111,6 +132,14 @@ func NewPRBinaryHighestLabel() *PRBinary {
 	return &PRBinary{name: "pr-binary-highest", factory: HighestLabelEngine, conserve: true}
 }
 
+// NewPRBinaryWithEngine returns the integrated Algorithm 6 solver backed
+// by an arbitrary max-flow engine. The benchmark harness uses it to drive
+// every engine in the repository through the identical integrated solve
+// path; conservation stays on.
+func NewPRBinaryWithEngine(name string, factory EngineFactory) *PRBinary {
+	return &PRBinary{name: name, factory: factory, conserve: true}
+}
+
 // NewPRBinaryParallel returns the integrated Algorithm 6 solver backed by
 // the lock-free parallel push-relabel engine of Section V.
 func NewPRBinaryParallel(threads int) *PRBinary {
@@ -126,12 +155,28 @@ func (s *PRBinary) Name() string { return s.name }
 
 // Solve implements Solver.
 func (s *PRBinary) Solve(p *Problem) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	res := &Result{}
+	if err := s.SolveInto(p, res); err != nil {
 		return nil, err
 	}
-	net := buildNetwork(p)
-	engine := s.factory(net.g)
-	res := &Result{Stats: Stats{Engine: engine.Name()}}
+	return res, nil
+}
+
+// SolveInto implements ReusableSolver.
+func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	net := &s.net
+	net.rebuild(p)
+	if s.engine == nil {
+		s.engine = s.factory(net.g)
+	} else {
+		s.engine.Reset()
+	}
+	engine := s.engine
+	*engine.Metrics() = maxflow.Metrics{}
+	res.Stats = Stats{Engine: engine.Name()}
 	target := int64(net.q)
 
 	// Bracket the optimum: tmax assumes every bucket is retrieved from the
@@ -140,33 +185,34 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 	// the cheapest disk, minus one block of the fastest disk. We
 	// additionally clamp tmin below the fastest single-block completion
 	// time, which makes its infeasibility unconditional (any schedule
-	// retrieves at least one block from some disk).
+	// retrieves at least one block from some disk). All bracket arithmetic
+	// saturates at cost.Max rather than wrapping.
 	minSpeed := cost.Max
 	tmin := cost.Max
 	var tmax cost.Micros
-	nTotal := int64(len(p.Disks))
+	nTotal := cost.Micros(len(p.Disks))
 	for _, dp := range net.params {
 		if up := dp.Finish(target); up > tmax {
 			tmax = up
 		}
-		if lo := dp.Delay + dp.Load + cost.Micros(target)*dp.Service/cost.Micros(nTotal); lo < tmin {
+		perDisk := cost.SatMul(cost.Micros(target), dp.Service) / nTotal
+		if lo := cost.SatAdd(cost.SatAdd(dp.Delay, dp.Load), perDisk); lo < tmin {
 			tmin = lo
 		}
 		if dp.Service < minSpeed {
 			minSpeed = dp.Service
 		}
 	}
-	tmin -= minSpeed
-	if single := minSingleBlock(net) - minSpeed; single < tmin {
+	tmin = cost.SatSub(tmin, minSpeed)
+	if single := cost.SatSub(minSingleBlock(net), minSpeed); single < tmin {
 		tmin = single
 	}
 	if tmin < 0 {
 		tmin = 0
 	}
 
-	var saved []int64
 	if s.conserve {
-		saved = net.g.SnapshotFlows(nil) // all-zero snapshot
+		s.saved = net.g.SnapshotFlows(s.saved) // all-zero snapshot
 	}
 	// The paper loops while (tmax - tmin) >= minSpeed over reals; with
 	// integer microseconds that admits a no-progress iteration when the
@@ -187,14 +233,14 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 			// Infeasible: keep (store) these flows — they stay valid at
 			// every larger capacity setting — and raise the floor.
 			if s.conserve {
-				saved = net.g.SnapshotFlows(saved)
+				s.saved = net.g.SnapshotFlows(s.saved)
 			}
 			tmin = tmid
 		} else {
 			// Feasible: the optimum may be lower, so roll back to the last
 			// infeasible flow state and lower the ceiling.
 			if s.conserve {
-				net.g.RestoreFlows(saved)
+				net.g.RestoreFlows(s.saved)
 			}
 			tmax = tmid
 		}
@@ -203,12 +249,12 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 	// Final stretch: Algorithm 5 from tmin's capacities. At most N more
 	// increments separate tmin from the optimum.
 	if s.conserve {
-		net.g.RestoreFlows(saved)
+		net.g.RestoreFlows(s.saved)
 	} else {
 		net.g.ZeroFlows()
 	}
 	net.capsForTime(tmin)
-	st := newIncrementState(net)
+	s.st.reset(net)
 	if !s.conserve {
 		net.g.ZeroFlows()
 	}
@@ -216,8 +262,8 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 	res.Stats.MaxflowRuns++
 	maxflow.Audit(net.g, net.s, net.t)
 	for flow < target {
-		if st.incrementMinCost(net) == cost.Max {
-			return nil, fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+		if s.st.incrementMinCost(net) == cost.Max {
+			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
 		}
 		res.Stats.Increments++
 		if !s.conserve {
@@ -228,12 +274,10 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
-	sched, err := net.extractSchedule(p)
-	if err != nil {
-		return nil, err
+	if res.Schedule == nil {
+		res.Schedule = &Schedule{}
 	}
-	res.Schedule = sched
-	return res, nil
+	return net.extractScheduleInto(p, res.Schedule)
 }
 
 // minSingleBlock returns the fastest possible single-block completion time

@@ -57,20 +57,35 @@ func (p *Problem) Validate() error {
 		if d.Delay < 0 || d.Load < 0 {
 			return fmt.Errorf("retrieval: disk %d has negative delay or load", j)
 		}
+		// D_j + X_j must stay on the time axis: every capacity and finish
+		// computation starts from this sum, and admitting a wrapping pair
+		// here would make each of them silently saturate.
+		if d.Delay > cost.Max-d.Load {
+			return fmt.Errorf("retrieval: disk %d delay+load exceeds the time axis", j)
+		}
+		// A disk whose first block saturates the clock can never serve
+		// anything: cost.Max doubles as the "no candidate" sentinel in
+		// incrementMinCost, so such disks must not reach the solvers.
+		if cost.DiskFinish(d.Delay, d.Load, d.Service, 1) == cost.Max {
+			return fmt.Errorf("retrieval: disk %d cannot finish one block within the time axis", j)
+		}
 	}
 	for i, reps := range p.Replicas {
 		if len(reps) == 0 {
 			return fmt.Errorf("retrieval: bucket %d has no replicas", i)
 		}
-		seen := map[int]bool{}
-		for _, d := range reps {
+		// Quadratic duplicate scan: replica lists are short (the replication
+		// factor), and avoiding the map keeps Validate allocation-free on
+		// the hot SolveInto path.
+		for ri, d := range reps {
 			if d < 0 || d >= len(p.Disks) {
 				return fmt.Errorf("retrieval: bucket %d replica on unknown disk %d", i, d)
 			}
-			if seen[d] {
-				return fmt.Errorf("retrieval: bucket %d lists disk %d twice", i, d)
+			for _, e := range reps[:ri] {
+				if e == d {
+					return fmt.Errorf("retrieval: bucket %d lists disk %d twice", i, d)
+				}
 			}
-			seen[d] = true
 		}
 	}
 	return nil
@@ -152,10 +167,23 @@ type Result struct {
 	Stats    Stats
 }
 
-// Solver computes an optimal response time schedule for a problem.
+// Solver computes an optimal response time schedule for a problem. Solve
+// always returns a freshly allocated Result and Schedule, so results from
+// successive calls can be held and compared side by side.
 type Solver interface {
 	Name() string
 	Solve(p *Problem) (*Result, error)
+}
+
+// ReusableSolver is a Solver with a zero-steady-state-allocation entry
+// point: SolveInto writes the result into res, reusing res.Schedule's
+// backing arrays when present, and reuses the solver's cached network and
+// engine. After the first call on a given problem shape, SolveInto performs
+// no heap allocations (audit builds excepted). A ReusableSolver is NOT safe
+// for concurrent use.
+type ReusableSolver interface {
+	Solver
+	SolveInto(p *Problem, res *Result) error
 }
 
 // network is the max-flow representation of a problem (Figures 3-4 of the
@@ -174,54 +202,82 @@ type network struct {
 	diskArc []int        // arc disk->sink per participating disk
 	caps    []int64      // current disk->sink capacities (mirror of the graph)
 	srcArc  []int        // arc source->bucket per bucket
+	vtxSlot []int32      // scratch: slot+1 per global disk ID, 0 = not seen
+}
+
+// grow returns s resized to n elements, reallocating only when the backing
+// array is too small. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // buildNetwork constructs the flow network of a problem. Only disks holding
 // at least one replica of the query participate; the rest cannot carry
 // flow.
 func buildNetwork(p *Problem) *network {
+	net := &network{}
+	net.rebuild(p)
+	return net
+}
+
+// rebuild reconstructs the network for p in place, reusing every backing
+// array from previous builds (including the graph's). After the first call
+// on a given problem shape, rebuild performs no allocations. The graph
+// comes back with zero flow everywhere and zero disk->sink capacities.
+func (net *network) rebuild(p *Problem) {
 	q := len(p.Replicas)
-	// First pass: discover participating disks.
-	vtxOf := make(map[int]int)
-	var diskIDs []int
+	// First pass: discover participating disks. Global disk IDs are dense
+	// (indices into p.Disks), so a slice stands in for the map.
+	net.vtxSlot = grow(net.vtxSlot, len(p.Disks))
+	for i := range net.vtxSlot {
+		net.vtxSlot[i] = 0
+	}
+	diskIDs := net.diskIDs[:0]
 	for _, reps := range p.Replicas {
 		for _, d := range reps {
-			if _, ok := vtxOf[d]; !ok {
-				vtxOf[d] = len(diskIDs)
+			if net.vtxSlot[d] == 0 {
 				diskIDs = append(diskIDs, d)
+				net.vtxSlot[d] = int32(len(diskIDs))
 			}
 		}
 	}
+	net.diskIDs = diskIDs
 	nd := len(diskIDs)
 	// Vertices: 0 = source, 1..q = buckets, q+1..q+nd = disks, q+nd+1 = sink.
 	n := q + nd + 2
-	g := flowgraph.New(n)
-	net := &network{
-		g: g, s: 0, t: n - 1, q: q,
-		diskIDs: diskIDs,
-		diskVtx: make([]int, nd),
-		params:  make([]DiskParams, nd),
-		inDeg:   make([]int64, nd),
-		diskArc: make([]int, nd),
-		caps:    make([]int64, nd),
-		srcArc:  make([]int, q),
+	if net.g == nil {
+		net.g = flowgraph.New(n)
+	} else {
+		net.g.Resize(n)
 	}
+	g := net.g
+	net.s, net.t, net.q = 0, n-1, q
+	net.diskVtx = grow(net.diskVtx, nd)
+	net.params = grow(net.params, nd)
+	net.inDeg = grow(net.inDeg, nd)
+	net.diskArc = grow(net.diskArc, nd)
+	net.caps = grow(net.caps, nd)
+	net.srcArc = grow(net.srcArc, q)
 	for k, d := range diskIDs {
 		net.diskVtx[k] = q + 1 + k
 		net.params[k] = p.Disks[d]
+		net.inDeg[k] = 0
 	}
 	for i, reps := range p.Replicas {
 		net.srcArc[i] = g.AddEdge(net.s, 1+i, 1)
 		for _, d := range reps {
-			k := vtxOf[d]
+			k := int(net.vtxSlot[d]) - 1
 			g.AddEdge(1+i, net.diskVtx[k], 1)
 			net.inDeg[k]++
 		}
 	}
 	for k := range diskIDs {
 		net.diskArc[k] = g.AddEdge(net.diskVtx[k], net.t, 0)
+		net.caps[k] = 0
 	}
-	return net
 }
 
 // setCap updates participating disk k's sink-arc capacity.
@@ -243,38 +299,58 @@ func (net *network) capsForTime(t cost.Micros) {
 func (net *network) bucketVertex(i int) int { return 1 + i }
 
 // extractSchedule reads the assignment off the saturated bucket->disk arcs
-// of a |Q|-valued flow.
+// of a |Q|-valued flow into a fresh Schedule.
 func (net *network) extractSchedule(p *Problem) (*Schedule, error) {
-	g := net.g
-	s := &Schedule{
-		Assignment: make([]int, net.q),
-		Counts:     make([]int64, len(p.Disks)),
+	s := &Schedule{}
+	if err := net.extractScheduleInto(p, s); err != nil {
+		return nil, err
 	}
-	vtxToDisk := make(map[int]int, len(net.diskIDs))
-	for k, v := range net.diskVtx {
-		vtxToDisk[v] = net.diskIDs[k]
+	return s, nil
+}
+
+// extractScheduleInto is extractSchedule writing into an existing Schedule,
+// reusing its backing arrays when they are large enough. Disk vertices are
+// mapped back to global IDs arithmetically (vertex q+1+k is participating
+// disk k), so no lookup structure is built.
+func (net *network) extractScheduleInto(p *Problem, s *Schedule) error {
+	g := net.g
+	s.Assignment = grow(s.Assignment, net.q)
+	s.Counts = grow(s.Counts, len(p.Disks))
+	for j := range s.Counts {
+		s.Counts[j] = 0
 	}
 	for i := 0; i < net.q; i++ {
 		v := net.bucketVertex(i)
 		assigned := -1
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
 			if a%2 == 0 && g.Flow[a] > 0 { // forward bucket->disk arc carrying flow
-				d, ok := vtxToDisk[int(g.To[a])]
-				if !ok {
-					return nil, fmt.Errorf("retrieval: bucket %d flows to non-disk vertex %d", i, g.To[a])
+				k := int(g.To[a]) - net.q - 1
+				if k < 0 || k >= len(net.diskIDs) {
+					return fmt.Errorf("retrieval: bucket %d flows to non-disk vertex %d", i, g.To[a])
 				}
-				assigned = d
+				assigned = net.diskIDs[k]
 				break
 			}
 		}
 		if assigned < 0 {
-			return nil, fmt.Errorf("retrieval: bucket %d unassigned (flow not maximal?)", i)
+			return fmt.Errorf("retrieval: bucket %d unassigned (flow not maximal?)", i)
 		}
 		s.Assignment[i] = assigned
 		s.Counts[assigned]++
 	}
-	s.ResponseTime = p.Makespan(s.Assignment)
-	return s, nil
+	// Makespan from the counts we already have (p.Makespan would allocate a
+	// fresh counts array).
+	var worst cost.Micros
+	for j, k := range s.Counts {
+		if k == 0 {
+			continue
+		}
+		if f := p.Disks[j].Finish(k); f > worst {
+			worst = f
+		}
+	}
+	s.ResponseTime = worst
+	return nil
 }
 
 // incrementState tracks the live disk-edge set E of Algorithm 3. Retired
@@ -286,11 +362,18 @@ type incrementState struct {
 }
 
 func newIncrementState(net *network) *incrementState {
-	st := &incrementState{active: make([]int, len(net.diskIDs))}
+	st := &incrementState{}
+	st.reset(net)
+	return st
+}
+
+// reset refills the live edge set with every participating disk, reusing
+// the backing array across solves.
+func (st *incrementState) reset(net *network) {
+	st.active = grow(st.active, len(net.diskIDs))
 	for k := range st.active {
 		st.active[k] = k
 	}
-	return st
 }
 
 // incrementMinCost is Algorithm 3: retire saturated disk edges, find the

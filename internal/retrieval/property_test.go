@@ -29,6 +29,17 @@ func problemFromSeed(seed uint64, extreme bool) *Problem {
 			Delay:   cost.Micros(rng.Intn(3) * rng.Intn(2_000_000)),
 			Load:    cost.Micros(rng.Intn(3) * rng.Intn(2_000_000)),
 		}
+		if extreme && rng.Intn(8) == 0 {
+			// Near-boundary regime: parameters a few bits below cost.Max,
+			// chosen so every Finish(k) a solver can compute stays on the
+			// time axis (delay+load <= Max/4 and k*service <= 96*Max/1024),
+			// but any non-saturating intermediate arithmetic would wrap.
+			p.Disks[j] = DiskParams{
+				Service: 1 + cost.Micros(rng.Intn(int(cost.Max/1024))),
+				Delay:   cost.Micros(rng.Intn(int(cost.Max / 8))),
+				Load:    cost.Micros(rng.Intn(int(cost.Max / 8))),
+			}
+		}
 	}
 	q := 1 + rng.Intn(80)
 	p.Replicas = make([][]int, q)
