@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fuzz audit bench bench-smoke check
+.PHONY: build test race lint vet fuzz audit bench bench-smoke bench-serve bench-serve-smoke bench-diff check
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detector stress over the lock-free solver and its callers.
+## race: race-detector stress over the lock-free solver, its callers, and
+## the sharded serving layer.
 race:
-	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/...
+	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/...
 
 ## lint: the repository's custom analyzers (microsfloat, atomicfield)
 ## plus a curated go vet set — see cmd/imflow-lint.
@@ -32,7 +33,7 @@ fuzz:
 ## audit: re-run the solver tests with the imflow_audit build tag, arming
 ## the max-flow = min-cut certificate checks after every engine run.
 audit:
-	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/...
+	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/...
 
 ## bench: regenerate BENCH_retrieval.json — the steady-state integrated
 ## solve loop (ns/op, allocs/op, work counters) across every engine on the
@@ -43,5 +44,26 @@ bench:
 ## bench-smoke: the small configuration CI runs on every push.
 bench-smoke:
 	$(GO) run ./cmd/imflow-bench -smoke -out BENCH_retrieval.json
+
+## bench-serve: regenerate BENCH_serve.json — open-loop throughput of the
+## concurrent serving layer (qps, latency percentiles, worker-scaling
+## curve) against the timed sequential sim replay baseline.
+bench-serve:
+	$(GO) run ./cmd/imflow-serve-bench -out BENCH_serve.json
+
+bench-serve-smoke:
+	$(GO) run ./cmd/imflow-serve-bench -smoke -out BENCH_serve.json
+
+## bench-diff: run fresh benchmarks into a scratch directory and compare
+## them against the committed BENCH files. Fails on a >25% ns/op (or qps)
+## regression or any allocs/op regression for the sequential engines.
+## Wall-clock gates assume the same machine as the committed baselines;
+## CI uses the machine-independent -allocs-only mode instead.
+bench-diff:
+	$(GO) run ./cmd/imflow-bench -out /tmp/imflow-bench-new/BENCH_retrieval.json
+	$(GO) run ./cmd/imflow-serve-bench -out /tmp/imflow-bench-new/BENCH_serve.json
+	$(GO) run ./cmd/imflow-bench-diff \
+		-old BENCH_retrieval.json -new /tmp/imflow-bench-new/BENCH_retrieval.json \
+		-old-serve BENCH_serve.json -new-serve /tmp/imflow-bench-new/BENCH_serve.json
 
 check: build vet lint test audit race

@@ -1,0 +1,84 @@
+// Command imflow-bench-diff gates benchmark regressions: it compares
+// freshly generated BENCH_retrieval.json / BENCH_serve.json documents
+// against the committed baselines and exits non-zero when a sequential
+// engine got >25% slower, any sequential engine's steady-state allocs/op
+// regressed, a serving configuration lost throughput, or the server's
+// deterministic mode stopped matching sequential replay.
+//
+// Usage:
+//
+//	imflow-bench-diff -old BENCH_retrieval.json -new fresh.json
+//	imflow-bench-diff -old-serve BENCH_serve.json -new-serve fresh-serve.json
+//	imflow-bench-diff -allocs-only ...   # CI smoke: machine-independent gates only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"imflow/internal/bench"
+)
+
+func main() {
+	oldRet := flag.String("old", "", "committed BENCH_retrieval.json baseline")
+	newRet := flag.String("new", "", "freshly generated BENCH_retrieval.json")
+	oldServe := flag.String("old-serve", "", "committed BENCH_serve.json baseline")
+	newServe := flag.String("new-serve", "", "freshly generated BENCH_serve.json")
+	maxRatio := flag.Float64("max-ratio", 1.25, "tolerated timing regression ratio")
+	allocsOnly := flag.Bool("allocs-only", false,
+		"skip wall-clock gates (for CI, where the baseline's hardware differs)")
+	flag.Parse()
+
+	opt := bench.DiffOptions{MaxRatio: *maxRatio, TimingChecks: !*allocsOnly}
+	var violations []string
+	checked := 0
+
+	if *newRet != "" {
+		if *oldRet == "" {
+			fatalf("-new requires -old")
+		}
+		var oldR, newR bench.RetrievalReport
+		readJSON(*oldRet, &oldR)
+		readJSON(*newRet, &newR)
+		violations = append(violations, bench.DiffRetrieval(&oldR, &newR, opt)...)
+		checked++
+	}
+	if *newServe != "" {
+		if *oldServe == "" {
+			fatalf("-new-serve requires -old-serve")
+		}
+		var oldS, newS bench.ServeReport
+		readJSON(*oldServe, &oldS)
+		readJSON(*newServe, &newS)
+		violations = append(violations, bench.DiffServe(&oldS, &newS, opt)...)
+		checked++
+	}
+	if checked == 0 {
+		fatalf("nothing to diff: pass -old/-new and/or -old-serve/-new-serve")
+	}
+
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "imflow-bench-diff: %d report(s) clean\n", checked)
+}
+
+func readJSON(path string, into any) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := json.Unmarshal(blob, into); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "imflow-bench-diff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -79,6 +80,11 @@ func main() {
 	if *out == "-" {
 		os.Stdout.Write(blob)
 	} else {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatalf("%v", err)
+			}
+		}
 		if err := os.WriteFile(*out, blob, 0o644); err != nil {
 			fatalf("%v", err)
 		}

@@ -1,0 +1,108 @@
+// Command imflow-serve-bench runs the serving-layer throughput benchmark:
+// per paper-scale cell, a sequential replay baseline, a bit-exactness
+// cross-check of the server's deterministic single-shard mode, and a
+// saturation throughput run per worker count (queries/sec, p50/p95/p99
+// latency, worker-scaling curve), written as BENCH_serve.json.
+//
+// Usage:
+//
+//	imflow-serve-bench                          # paper-scale cells, writes BENCH_serve.json
+//	imflow-serve-bench -smoke                   # one tiny cell (CI benchmark smoke)
+//	imflow-serve-bench -n 20 -workers 1,2,4,8   # custom sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"imflow/internal/bench"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the small CI smoke configuration")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	ns := flag.String("n", "", "comma-separated grid sizes (default 20,60)")
+	workers := flag.String("workers", "", "comma-separated worker counts (default 1,2,4,8)")
+	queries := flag.Int("queries", 0, "stream length per cell (default 400)")
+	seed := flag.Uint64("seed", 0, "workload seed (default 42)")
+	queueDepth := flag.Int("queue", 0, "per-shard admission queue bound (default 64)")
+	batch := flag.Int("batch", 0, "max queries coalesced per worker wakeup (default 16)")
+	expNum := flag.Int("exp", 0, "Table IV experiment number (default 2)")
+	flag.Parse()
+
+	var o bench.ServeOptions
+	if *smoke {
+		o = bench.SmokeServeOptions()
+	}
+	if *ns != "" {
+		o.Ns = parseInts(*ns, "-n")
+	}
+	if *workers != "" {
+		o.Workers = parseInts(*workers, "-workers")
+	}
+	if *queries > 0 {
+		o.Queries = *queries
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	if *queueDepth > 0 {
+		o.QueueDepth = *queueDepth
+	}
+	if *batch > 0 {
+		o.Batch = *batch
+	}
+	if *expNum > 0 {
+		o.ExpNum = *expNum
+	}
+
+	report, err := bench.RunServe(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(report.Records))
+	}
+
+	for _, r := range report.Records {
+		fmt.Fprintf(os.Stderr, "%-28s %-7s workers=%d %9.0f q/s %8.0fus p50 %8.0fus p99 %6.2fx vs replay\n",
+			r.Cell, r.Mode, r.Workers, r.QPS, r.P50LatencyUs, r.P99LatencyUs, r.SpeedupVsReplay)
+	}
+}
+
+func parseInts(csv, flagName string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fatalf("bad %s element %q", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "imflow-serve-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,8 +1,9 @@
-// Command retrieve computes an optimal response time retrieval schedule
-// for a single query described as JSON on stdin (or a file), using any of
-// the repository's solvers.
+// Command retrieve computes optimal response time retrieval schedules for
+// queries described as JSON on stdin (or a file), using any of the
+// repository's solvers.
 //
-// Input format:
+// Input format — one or more concatenated JSON documents (so both a single
+// query and a JSON-lines batch work):
 //
 //	{
 //	  "disks": [
@@ -13,9 +14,12 @@
 //	}
 //
 // where disks[j] holds disk j's parameters and buckets[i] lists the disks
-// storing a replica of bucket i. The output is a JSON schedule:
-// the serving disk of every bucket, the per-disk block counts, and the
-// optimal response time.
+// storing a replica of bucket i. The output is one JSON schedule per input
+// document: the serving disk of every bucket, the per-disk block counts,
+// and the optimal response time. When the chosen solver supports the
+// zero-reallocation path (retrieval.ReusableSolver), the whole batch is
+// solved through one reused solver state and result — the same hot path
+// the serving layer runs.
 //
 // Usage:
 //
@@ -36,6 +40,7 @@ import (
 )
 
 type output struct {
+	Query          int              `json:"query"`
 	Algorithm      string           `json:"algorithm"`
 	ResponseTimeMs float64          `json:"response_time_ms"`
 	Assignment     []int            `json:"assignment"`
@@ -52,7 +57,7 @@ type bottleneckJSON struct {
 
 func main() {
 	algo := flag.String("algo", "pr-binary", "solver: ff-incremental, pr-incremental, pr-binary, pr-binary-blackbox, pr-binary-parallel, oracle")
-	threads := flag.Int("threads", 2, "threads for pr-binary-parallel")
+	threads := flag.Int("threads", 0, "threads for pr-binary-parallel (<= 0: GOMAXPROCS)")
 	in := flag.String("in", "-", "input file ('-' for stdin)")
 	withStats := flag.Bool("stats", false, "include solver work counters in the output")
 	explain := flag.Bool("explain", false, "include the bottleneck diagnosis (binding disks and buckets)")
@@ -75,6 +80,11 @@ func main() {
 	if !ok {
 		fatalf("unknown solver %q (use -list)", *algo)
 	}
+	// Across a batch, a reusable solver keeps its network, engine, and
+	// result arrays warm: everything after the first query runs the
+	// steady-state zero-reallocation path.
+	reusable, _ := solver.(retrieval.ReusableSolver)
+	reused := &retrieval.Result{}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -85,38 +95,55 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	p, err := encoding.ReadProblem(r)
-	if err != nil {
-		fatalf("parsing input: %v", err)
-	}
 
-	start := time.Now()
-	res, err := solver.Solve(p)
-	elapsed := time.Since(start)
-	if err != nil {
-		fatalf("solving: %v", err)
-	}
-	out := output{
-		Algorithm:      solver.Name(),
-		ResponseTimeMs: res.Schedule.ResponseTime.Millis(),
-		Assignment:     res.Schedule.Assignment,
-		Counts:         res.Schedule.Counts,
-		DecisionTimeMs: float64(elapsed.Microseconds()) / 1000,
-	}
-	if *withStats {
-		out.Stats = &res.Stats
-	}
-	if *explain {
-		b, _, err := retrieval.ExplainBottleneck(p)
-		if err != nil {
-			fatalf("explaining: %v", err)
-		}
-		out.Bottleneck = &bottleneckJSON{Disks: b.Disks, Buckets: b.Buckets}
-	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fatalf("%v", err)
+	dec := encoding.NewProblemDecoder(r)
+	for qi := 0; ; qi++ {
+		p, err := dec.Next()
+		if err == io.EOF {
+			if qi == 0 {
+				fatalf("empty input")
+			}
+			return
+		}
+		if err != nil {
+			fatalf("parsing query %d: %v", qi, err)
+		}
+
+		var res *retrieval.Result
+		start := time.Now()
+		if reusable != nil {
+			err = reusable.SolveInto(p, reused)
+			res = reused
+		} else {
+			res, err = solver.Solve(p)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			fatalf("solving query %d: %v", qi, err)
+		}
+		out := output{
+			Query:          qi,
+			Algorithm:      solver.Name(),
+			ResponseTimeMs: res.Schedule.ResponseTime.Millis(),
+			Assignment:     res.Schedule.Assignment,
+			Counts:         res.Schedule.Counts,
+			DecisionTimeMs: float64(elapsed.Microseconds()) / 1000,
+		}
+		if *withStats {
+			out.Stats = &res.Stats
+		}
+		if *explain {
+			b, _, err := retrieval.ExplainBottleneck(p)
+			if err != nil {
+				fatalf("explaining query %d: %v", qi, err)
+			}
+			out.Bottleneck = &bottleneckJSON{Disks: b.Disks, Buckets: b.Buckets}
+		}
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffOptions tune the benchmark regression gates of cmd/imflow-bench-diff.
+type DiffOptions struct {
+	// MaxRatio is the tolerated slowdown for timing fields: a fresh
+	// ns/op above committed*MaxRatio (or a fresh QPS below
+	// committed/MaxRatio) is a violation. Default 1.25.
+	MaxRatio float64
+	// AllocEpsilon absorbs the runtime's background-allocation jitter in
+	// the steady-state allocs/op gates. Default 0.5.
+	AllocEpsilon float64
+	// TimingChecks enables the wall-clock gates. CI smoke runs disable
+	// them (the committed baseline was produced on different hardware)
+	// and keep only the machine-independent allocation gates.
+	TimingChecks bool
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.MaxRatio <= 1 {
+		o.MaxRatio = 1.25
+	}
+	if o.AllocEpsilon <= 0 {
+		o.AllocEpsilon = 0.5
+	}
+	return o
+}
+
+// sequentialSolver reports whether a solver name denotes a sequential
+// engine, i.e. one covered by the steady-state zero-allocation guarantee.
+// The parallel engine allocates per run (worker bookkeeping) and its wall
+// clock is scheduler-noisy, so it is exempt from both gates.
+func sequentialSolver(name string) bool {
+	return !strings.Contains(name, "parallel")
+}
+
+// DiffRetrieval compares a fresh BENCH_retrieval.json against the
+// committed baseline and returns one message per violated gate. Records
+// are matched on (cell, solver); fresh records without a committed
+// counterpart still face the absolute zero-allocation gate, which is what
+// the CI smoke configuration (whose cells are smaller than the committed
+// grid) relies on.
+func DiffRetrieval(old, fresh *RetrievalReport, o DiffOptions) []string {
+	o = o.withDefaults()
+	baseline := make(map[string]RetrievalRecord, len(old.Records))
+	for _, r := range old.Records {
+		baseline[r.Cell+"|"+r.Solver] = r
+	}
+	var out []string
+	for _, r := range fresh.Records {
+		if !sequentialSolver(r.Solver) {
+			continue
+		}
+		if r.AllocsPerOp > o.AllocEpsilon {
+			out = append(out, fmt.Sprintf("%s %s: %.3f allocs/op breaks the sequential steady-state zero-allocation guarantee",
+				r.Cell, r.Solver, r.AllocsPerOp))
+		}
+		base, ok := baseline[r.Cell+"|"+r.Solver]
+		if !ok {
+			continue
+		}
+		if r.AllocsPerOp > base.AllocsPerOp+o.AllocEpsilon {
+			out = append(out, fmt.Sprintf("%s %s: allocs/op %.3f, committed %.3f",
+				r.Cell, r.Solver, r.AllocsPerOp, base.AllocsPerOp))
+		}
+		if o.TimingChecks && r.NsPerOp > base.NsPerOp*o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s %s: %.0f ns/op, committed %.0f (> %.2fx)",
+				r.Cell, r.Solver, r.NsPerOp, base.NsPerOp, o.MaxRatio))
+		}
+	}
+	return out
+}
+
+// DiffServe compares a fresh BENCH_serve.json against the committed
+// baseline. Records are matched on (cell, mode, workers); the
+// deterministic replay cross-check is re-asserted on every fresh replay
+// record regardless of a baseline match.
+func DiffServe(old, fresh *ServeReport, o DiffOptions) []string {
+	o = o.withDefaults()
+	// Serving passes amortize server and solver construction over the
+	// stream, so their allocation budget is per-pass noise, not the
+	// strict per-op epsilon.
+	const serveAllocSlack = 2.0
+	baseline := make(map[string]ServeRecord, len(old.Records))
+	key := func(r ServeRecord) string {
+		return fmt.Sprintf("%s|%s|%d", r.Cell, r.Mode, r.Workers)
+	}
+	for _, r := range old.Records {
+		baseline[key(r)] = r
+	}
+	var out []string
+	for _, r := range fresh.Records {
+		if r.Mode == "replay" && !r.DeterministicMatch {
+			out = append(out, fmt.Sprintf("%s: deterministic single-shard serve no longer matches sequential replay", r.Cell))
+		}
+		base, ok := baseline[key(r)]
+		if !ok {
+			continue
+		}
+		if r.AllocsPerOp > base.AllocsPerOp+serveAllocSlack {
+			out = append(out, fmt.Sprintf("%s %s workers=%d: allocs/op %.2f, committed %.2f",
+				r.Cell, r.Mode, r.Workers, r.AllocsPerOp, base.AllocsPerOp))
+		}
+		if o.TimingChecks && r.QPS < base.QPS/o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s %s workers=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
+				r.Cell, r.Mode, r.Workers, r.QPS, base.QPS, o.MaxRatio))
+		}
+	}
+	return out
+}

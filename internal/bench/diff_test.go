@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func retrievalReport(records ...RetrievalRecord) *RetrievalReport {
+	return &RetrievalReport{Records: records}
+}
+
+func TestDiffRetrievalGates(t *testing.T) {
+	old := retrievalReport(
+		RetrievalRecord{Cell: "c", Solver: "pr-binary", NsPerOp: 1000, AllocsPerOp: 0},
+		RetrievalRecord{Cell: "c", Solver: "pr-binary-parallel(2)", NsPerOp: 1000, AllocsPerOp: 50},
+	)
+
+	// Identical run: clean.
+	if v := DiffRetrieval(old, old, DiffOptions{TimingChecks: true}); len(v) != 0 {
+		t.Fatalf("self-diff violations: %v", v)
+	}
+
+	// >25% ns/op regression on a sequential engine: flagged only with
+	// timing checks on.
+	slow := retrievalReport(RetrievalRecord{Cell: "c", Solver: "pr-binary", NsPerOp: 1300, AllocsPerOp: 0})
+	if v := DiffRetrieval(old, slow, DiffOptions{TimingChecks: true}); len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("slowdown not flagged: %v", v)
+	}
+	if v := DiffRetrieval(old, slow, DiffOptions{}); len(v) != 0 {
+		t.Fatalf("timing gate leaked into allocs-only mode: %v", v)
+	}
+
+	// Any allocs/op regression on a sequential engine: flagged even
+	// without a committed counterpart (absolute zero-alloc gate).
+	leaky := retrievalReport(RetrievalRecord{Cell: "new-cell", Solver: "pr-binary", NsPerOp: 1, AllocsPerOp: 3})
+	if v := DiffRetrieval(old, leaky, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "zero-allocation") {
+		t.Fatalf("allocation leak not flagged: %v", v)
+	}
+
+	// The parallel engine is exempt from both gates.
+	par := retrievalReport(RetrievalRecord{Cell: "c", Solver: "pr-binary-parallel(2)", NsPerOp: 9000, AllocsPerOp: 80})
+	if v := DiffRetrieval(old, par, DiffOptions{TimingChecks: true}); len(v) != 0 {
+		t.Fatalf("parallel engine gated: %v", v)
+	}
+}
+
+func TestDiffServeGates(t *testing.T) {
+	old := &ServeReport{Records: []ServeRecord{
+		{Cell: "c", Mode: "replay", Workers: 1, QPS: 1000, AllocsPerOp: 5, DeterministicMatch: true},
+		{Cell: "c", Mode: "serve", Workers: 4, QPS: 3000, AllocsPerOp: 5},
+	}}
+	if v := DiffServe(old, old, DiffOptions{TimingChecks: true}); len(v) != 0 {
+		t.Fatalf("self-diff violations: %v", v)
+	}
+
+	// Lost deterministic equivalence is always a violation.
+	broken := &ServeReport{Records: []ServeRecord{
+		{Cell: "c", Mode: "replay", Workers: 1, QPS: 1000, AllocsPerOp: 5},
+	}}
+	if v := DiffServe(old, broken, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "deterministic") {
+		t.Fatalf("determinism loss not flagged: %v", v)
+	}
+
+	// QPS collapse: flagged only with timing checks.
+	slow := &ServeReport{Records: []ServeRecord{
+		{Cell: "c", Mode: "serve", Workers: 4, QPS: 1000, AllocsPerOp: 5},
+	}}
+	if v := DiffServe(old, slow, DiffOptions{TimingChecks: true}); len(v) != 1 || !strings.Contains(v[0], "queries/sec") {
+		t.Fatalf("throughput collapse not flagged: %v", v)
+	}
+	if v := DiffServe(old, slow, DiffOptions{}); len(v) != 0 {
+		t.Fatalf("timing gate leaked into allocs-only mode: %v", v)
+	}
+
+	// Per-pass allocation blowup beyond the construction slack.
+	alloc := &ServeReport{Records: []ServeRecord{
+		{Cell: "c", Mode: "serve", Workers: 4, QPS: 3000, AllocsPerOp: 12},
+	}}
+	if v := DiffServe(old, alloc, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("allocation regression not flagged: %v", v)
+	}
+}

@@ -103,10 +103,36 @@ func (sj *ScheduleJSON) Schedule(numDisks int) (*retrieval.Schedule, error) {
 
 // ReadProblem decodes one problem from r, rejecting unknown fields.
 func ReadProblem(r io.Reader) (*retrieval.Problem, error) {
-	var pj ProblemJSON
+	p, err := NewProblemDecoder(r).Next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("encoding: empty input")
+	}
+	return p, err
+}
+
+// ProblemDecoder reads a stream of concatenated problem documents — the
+// batch input of cmd/retrieve. Each document is one ProblemJSON object;
+// whitespace (including newlines, so JSON-lines input works) separates
+// documents.
+type ProblemDecoder struct {
+	dec *json.Decoder
+}
+
+// NewProblemDecoder returns a decoder over r rejecting unknown fields.
+func NewProblemDecoder(r io.Reader) *ProblemDecoder {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&pj); err != nil {
+	return &ProblemDecoder{dec: dec}
+}
+
+// Next decodes and validates the next problem, returning io.EOF (bare,
+// for callers to compare against) once the stream is exhausted.
+func (d *ProblemDecoder) Next() (*retrieval.Problem, error) {
+	var pj ProblemJSON
+	if err := d.dec.Decode(&pj); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
 		return nil, fmt.Errorf("encoding: %w", err)
 	}
 	return pj.Problem()

@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"fmt"
+	"runtime"
 
 	"imflow/internal/cost"
 	"imflow/internal/flowgraph"
@@ -23,9 +24,20 @@ func SequentialEngine(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewPus
 func HighestLabelEngine(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewHighestLabel(g) }
 
 // ParallelEngine builds the lock-free multithreaded push-relabel engine of
-// Section V with the given worker count.
+// Section V with the given worker count. threads <= 0 selects
+// runtime.GOMAXPROCS(0), the scheduler's actual parallelism budget.
 func ParallelEngine(threads int) EngineFactory {
+	threads = normalizeThreads(threads)
 	return func(g *flowgraph.Graph) maxflow.Engine { return parallel.New(g, threads) }
+}
+
+// normalizeThreads maps a non-positive worker count to GOMAXPROCS instead
+// of letting it degenerate to a single worker deep inside the engine.
+func normalizeThreads(threads int) int {
+	if threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return threads
 }
 
 // PRIncremental is Algorithm 5: the integrated push-relabel solution that
@@ -141,8 +153,10 @@ func NewPRBinaryWithEngine(name string, factory EngineFactory) *PRBinary {
 }
 
 // NewPRBinaryParallel returns the integrated Algorithm 6 solver backed by
-// the lock-free parallel push-relabel engine of Section V.
+// the lock-free parallel push-relabel engine of Section V. threads <= 0
+// selects runtime.GOMAXPROCS(0).
 func NewPRBinaryParallel(threads int) *PRBinary {
+	threads = normalizeThreads(threads)
 	return &PRBinary{
 		name:     fmt.Sprintf("pr-binary-parallel(%d)", threads),
 		factory:  ParallelEngine(threads),

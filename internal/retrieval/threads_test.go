@@ -1,0 +1,42 @@
+package retrieval
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestParallelThreadsDefaultToGOMAXPROCS pins the satellite contract:
+// a non-positive thread count means "use the scheduler's parallelism
+// budget", not a degenerate single worker — both on the constructor and
+// through the Solvers registry.
+func TestParallelThreadsDefaultToGOMAXPROCS(t *testing.T) {
+	want := fmt.Sprintf("pr-binary-parallel(%d)", runtime.GOMAXPROCS(0))
+	for _, threads := range []int{0, -1, -100} {
+		if got := NewPRBinaryParallel(threads).Name(); got != want {
+			t.Errorf("NewPRBinaryParallel(%d) = %s, want %s", threads, got, want)
+		}
+	}
+	if got := NewPRBinaryParallel(3).Name(); got != "pr-binary-parallel(3)" {
+		t.Errorf("explicit thread count not preserved: %s", got)
+	}
+
+	reg := Solvers(0)
+	s, ok := reg["pr-binary-parallel"]
+	if !ok {
+		t.Fatal("registry lost pr-binary-parallel")
+	}
+	if s.Name() != want {
+		t.Errorf("Solvers(0) parallel solver = %s, want %s", s.Name(), want)
+	}
+
+	// The normalized solver must actually solve.
+	p := problemFromSeed(31, true)
+	res, err := NewPRBinaryParallel(0).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package serve is the concurrent serving layer: it turns the per-query
+// zero-reallocation solve path (retrieval.ReusableSolver.SolveInto) into
+// sustained throughput for a stream of retrieval queries over one shared
+// storage system.
+//
+// The design is sharded. Each worker owns a *pinned* reusable solver — no
+// sync.Pool, so the steady-state zero-allocation guarantee of the solve
+// path survives under concurrency — plus a pinned Problem and Result whose
+// backing arrays converge to the workload's peak shape and are then reused
+// forever. Workers pull queries from bounded per-shard queues and coalesce
+// whatever is queued (up to Options.Batch) into one admission batch: one
+// load-state snapshot, one in-place Problem rebuild per query, one
+// write-back of the induced load.
+//
+// The per-disk load state X_j is shared across all shards: after each
+// assignment the serving worker folds the blocks it scheduled into the
+// disks' busy horizons, so successive queries see the loads their
+// predecessors induced — the online form of the paper's
+// T_j = D_j + X_j + k_j*C_j model. Under concurrency a worker solves
+// against a snapshot that may be a batch behind its peers; the horizons
+// themselves are never lost (write-back is additive under the mutex). The
+// deterministic single-shard mode removes even that slack: queries are
+// served strictly in arrival order against the live state, with the query
+// arrival instant as the clock, and produces bit-identical response times
+// to replaying the stream through sim.Simulator.
+//
+//imflow:floatfree
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+	"imflow/internal/storage"
+)
+
+// Query is one admission request: a dense sequence number (its slot in the
+// results array), the virtual arrival instant (the deterministic-mode
+// clock), and the per-bucket replica lists.
+type Query struct {
+	Seq      int
+	Arrival  cost.Micros
+	Replicas [][]int
+
+	submitted time.Time // stamped by Submit for the wall-clock latency
+}
+
+// Result is the outcome of one served query. Schedules are not retained:
+// every worker reuses one Schedule's backing arrays across its whole
+// stream (that is what keeps the path allocation-free), so only the
+// scalar outcome survives. Install an Options.OnSchedule hook to observe
+// the full assignment before the buffers are recycled.
+type Result struct {
+	Seq    int
+	Worker int
+	// ResponseTime is the model response: the slowest site-delayed
+	// completion among the disks serving the query, measured from the
+	// clock the query was scheduled at (arrival in deterministic mode,
+	// wall admission time otherwise).
+	ResponseTime cost.Micros
+	// Finish is the absolute model instant the query completes.
+	Finish cost.Micros
+	// Latency is the wall-clock time from Submit to the decision being
+	// applied: queueing plus batching plus the solve itself.
+	Latency time.Duration
+}
+
+// Options configure a Server.
+type Options struct {
+	// Workers is the shard count; each shard is one queue served by one
+	// worker with a pinned solver. <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds each shard's admission queue; Submit blocks while
+	// the target shard is full. <= 0 means 64.
+	QueueDepth int
+	// Batch caps how many queued queries a worker coalesces into one
+	// admission batch (one load snapshot, one write-back). <= 0 means 16.
+	Batch int
+	// NewSolver builds each worker's pinned solver. nil means
+	// retrieval.NewPRBinary. The factory must return a fresh solver per
+	// call: workers never share one.
+	NewSolver func() retrieval.ReusableSolver
+	// Deterministic selects the single-shard testing mode: exactly one
+	// worker, queries served strictly in submission order with the query
+	// arrival as the clock and per-query (not per-batch) load feedback.
+	// The response times are bit-identical to sim.Simulator replay.
+	// Requires Workers <= 1.
+	Deterministic bool
+	// OnSchedule, when non-nil, is invoked synchronously by the serving
+	// worker after every assignment, before the problem/schedule buffers
+	// are reused. Implementations must copy anything they keep and must
+	// tolerate concurrent calls from different workers.
+	OnSchedule func(worker int, q *Query, p *retrieval.Problem, s *retrieval.Schedule)
+}
+
+// withDefaults normalizes the options.
+func (o Options) withDefaults() (Options, error) {
+	if o.Deterministic {
+		if o.Workers > 1 {
+			return o, fmt.Errorf("serve: deterministic mode is single-shard (got %d workers)", o.Workers)
+		}
+		o.Workers = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.NewSolver == nil {
+		o.NewSolver = func() retrieval.ReusableSolver { return retrieval.NewPRBinary() }
+	}
+	return o, nil
+}
+
+// Server is a concurrent sharded retrieval service over one storage
+// system. The zero value is not usable; construct with New.
+type Server struct {
+	sys *storage.System
+	opt Options
+
+	// mu guards the shared online load state.
+	mu        sync.Mutex
+	busyUntil []cost.Micros // absolute model instant each disk drains its queue
+	clock     cost.Micros   // deterministic mode: high-water arrival
+
+	queues  []chan Query
+	workers []*worker
+	wg      sync.WaitGroup
+
+	// results is written index-disjointly by workers (slot Seq), so it
+	// needs no lock; Wait establishes the happens-before edge for readers.
+	results []Result
+
+	start   time.Time
+	next    atomic.Uint64 // round-robin shard cursor
+	started bool
+	waited  bool
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+}
+
+// New returns a server over sys sized for total queries (the dense Seq
+// range [0, total)). Workers are not started until Start.
+func New(sys *storage.System, total int, opt Options) (*Server, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if sys == nil || sys.NumDisks() == 0 {
+		return nil, fmt.Errorf("serve: need a storage system with disks")
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("serve: non-positive query capacity %d", total)
+	}
+	s := &Server{
+		sys:       sys,
+		opt:       opt,
+		busyUntil: make([]cost.Micros, sys.NumDisks()),
+		results:   make([]Result, total),
+		queues:    make([]chan Query, opt.Workers),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan Query, opt.QueueDepth)
+	}
+	s.workers = make([]*worker, opt.Workers)
+	for i := range s.workers {
+		s.workers[i] = s.newWorker(i)
+	}
+	return s, nil
+}
+
+// Workers returns the shard count.
+func (s *Server) Workers() int { return s.opt.Workers }
+
+// Start launches the shard workers. It must be called exactly once.
+func (s *Server) Start() {
+	if s.started {
+		panic("serve: Start called twice")
+	}
+	s.started = true
+	s.start = time.Now()
+	for i, w := range s.workers {
+		s.wg.Add(1)
+		go func(w *worker, q chan Query) {
+			defer s.wg.Done()
+			w.loop(q)
+		}(w, s.queues[i])
+	}
+}
+
+// now returns the wall clock as model microseconds since Start.
+func (s *Server) now() cost.Micros {
+	return cost.Micros(time.Since(s.start) / time.Microsecond)
+}
+
+// Submit admits one query, routing it round-robin across the shards. It
+// blocks while the target shard's queue is full and returns an error only
+// for misuse (server not started, Seq outside the results range).
+func (s *Server) Submit(q Query) error {
+	shard := int(s.next.Add(1)-1) % len(s.queues)
+	return s.SubmitTo(shard, q)
+}
+
+// SubmitTo admits one query to a specific shard; tests use it to pin the
+// shard-to-query mapping. It blocks while that shard's queue is full.
+func (s *Server) SubmitTo(shard int, q Query) error {
+	if !s.started {
+		return fmt.Errorf("serve: Submit before Start")
+	}
+	if shard < 0 || shard >= len(s.queues) {
+		return fmt.Errorf("serve: shard %d outside [0,%d)", shard, len(s.queues))
+	}
+	if q.Seq < 0 || q.Seq >= len(s.results) {
+		return fmt.Errorf("serve: query seq %d outside the server's capacity %d", q.Seq, len(s.results))
+	}
+	q.submitted = time.Now()
+	s.queues[shard] <- q
+	return nil
+}
+
+// Wait closes admission, drains the shards, and returns the results slice
+// (indexed by Seq) together with the first worker error, if any. Queries
+// admitted after a worker error are drained unserved and left zero-valued
+// in the results.
+func (s *Server) Wait() ([]Result, error) {
+	if !s.started {
+		return nil, fmt.Errorf("serve: Wait before Start")
+	}
+	if s.waited {
+		return nil, fmt.Errorf("serve: Wait called twice")
+	}
+	s.waited = true
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+	return s.results, s.err
+}
+
+// fail records the first worker error and flips every worker into
+// drain-only mode.
+func (s *Server) fail(err error) {
+	s.errOnce.Do(func() { s.err = err })
+	s.failed.Store(true)
+}
+
+// Serve is the one-shot convenience: start a server over sys, admit the
+// whole stream in order (Seq = slice index), and wait. The stream's
+// Arrival fields drive the clock in deterministic mode and are carried
+// through otherwise.
+func Serve(sys *storage.System, stream []Query, opt Options) ([]Result, error) {
+	s, err := New(sys, len(stream), opt)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	for _, q := range stream {
+		if err := s.Submit(q); err != nil {
+			return nil, err
+		}
+	}
+	return s.Wait()
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"imflow/internal/retrieval"
+	"imflow/internal/sim"
+)
+
+// TestServerStress hammers one server from many submitter goroutines with
+// overlapping shards: every submitter scatters its queries across every
+// shard, so shard queues, the shared load state, and the results array all
+// see full cross-traffic. Run under -race this is the serving layer's data
+// race probe; built with -tags imflow_audit every solve additionally
+// verifies a max-flow/min-cut certificate inside SolveInto. The
+// deterministic single-shard pass at the end cross-checks the same stream
+// against the sequential simulator bit for bit.
+func TestServerStress(t *testing.T) {
+	const (
+		queries    = 160
+		submitters = 8
+		workers    = 4
+	)
+	sys, stream := testStream(t, queries, 23)
+	qs := toServeQueries(stream)
+
+	var mu sync.Mutex
+	served := make([]int, queries)
+	var hookErrs []string
+	s, err := New(sys, queries, Options{
+		Workers:    workers,
+		QueueDepth: 8, // small queues: submitters must block and interleave
+		Batch:      4,
+		OnSchedule: func(worker int, q *Query, p *retrieval.Problem, sched *retrieval.Schedule) {
+			err := p.ValidateSchedule(sched)
+			var blocks int64
+			for _, k := range sched.Counts {
+				blocks += k
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			served[q.Seq]++
+			if err != nil {
+				hookErrs = append(hookErrs, err.Error())
+			}
+			if blocks != int64(len(p.Replicas)) {
+				hookErrs = append(hookErrs, "block count does not cover the query")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	var wg sync.WaitGroup
+	for sub := 0; sub < submitters; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			// Submitter sub owns seqs congruent to sub, and sprays them
+			// round-robin over ALL shards (seq % workers), so every shard
+			// serves queries from every submitter.
+			for seq := sub; seq < queries; seq += submitters {
+				if err := s.SubmitTo(seq%workers, qs[seq]); err != nil {
+					t.Errorf("submitter %d: %v", sub, err)
+					return
+				}
+			}
+		}(sub)
+	}
+	wg.Wait()
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hookErrs {
+		t.Errorf("stress: %s", e)
+	}
+	for i, r := range results {
+		if served[i] != 1 {
+			t.Fatalf("query %d served %d times", i, served[i])
+		}
+		if r.ResponseTime <= 0 {
+			t.Fatalf("query %d response %v", i, r.ResponseTime)
+		}
+	}
+
+	// Sequential cross-check: the deterministic single-shard mode over the
+	// identical stream must reproduce the simulator replay exactly (under
+	// imflow_audit both paths also verify flow certificates per solve).
+	replay, err := sim.New(sys, sim.SolverScheduler{Solver: retrieval.NewPRBinary()}).
+		Run(append([]sim.Query(nil), stream...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Serve(sys, qs, Options{Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range det {
+		if det[i].ResponseTime != replay[i].ResponseTime {
+			t.Fatalf("query %d: deterministic serve %v, replay %v",
+				i, det[i].ResponseTime, replay[i].ResponseTime)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+// sinceSubmit returns the wall-clock age of a query's admission, zero for
+// queries that never went through Submit (white-box tests drive workers
+// directly).
+func sinceSubmit(q *Query) time.Duration {
+	if q.submitted.IsZero() {
+		return 0
+	}
+	return time.Since(q.submitted)
+}
+
+// worker serves one shard. Every buffer below is pinned to the worker for
+// the server's whole lifetime: after the backing arrays converge to the
+// workload's peak shape, a served query performs no heap allocations
+// (audit builds excepted).
+type worker struct {
+	id  int
+	srv *Server
+
+	solver retrieval.ReusableSolver
+	prob   retrieval.Problem
+	res    retrieval.Result
+
+	local []cost.Micros // concurrent mode: batch-local busy horizons
+	added []int64       // concurrent mode: blocks scheduled this batch, per disk
+	batch []Query       // admission batch drain buffer
+}
+
+// newWorker builds worker id with its pinned solver and presized state.
+func (s *Server) newWorker(id int) *worker {
+	n := s.sys.NumDisks()
+	return &worker{
+		id:     id,
+		srv:    s,
+		solver: s.opt.NewSolver(),
+		prob:   retrieval.Problem{Disks: make([]retrieval.DiskParams, n)},
+		local:  make([]cost.Micros, n),
+		added:  make([]int64, n),
+		batch:  make([]Query, 0, s.opt.Batch),
+	}
+}
+
+// loop is the shard's serving loop: block for one query, coalesce whatever
+// else is already queued (up to Options.Batch) into an admission batch,
+// serve the batch. After a server-level failure the loop keeps draining so
+// blocked submitters are released, but serves nothing.
+func (w *worker) loop(queue <-chan Query) {
+	for {
+		first, ok := <-queue
+		if !ok {
+			return
+		}
+		w.batch = w.batch[:0]
+		w.batch = append(w.batch, first)
+	coalesce:
+		for len(w.batch) < w.srv.opt.Batch {
+			select {
+			case q, ok := <-queue:
+				if !ok {
+					break coalesce
+				}
+				w.batch = append(w.batch, q)
+			default:
+				break coalesce
+			}
+		}
+		if w.srv.failed.Load() {
+			continue // drain-only: release submitters, serve nothing
+		}
+		if err := w.serveBatch(w.batch); err != nil {
+			w.srv.fail(fmt.Errorf("serve: worker %d: %w", w.id, err))
+		}
+	}
+}
+
+// serveBatch dispatches on the server mode.
+func (w *worker) serveBatch(batch []Query) error {
+	if w.srv.opt.Deterministic {
+		return w.serveDeterministic(batch)
+	}
+	return w.serveConcurrent(batch)
+}
+
+// serveDeterministic serves the batch with exact sequential semantics:
+// the shared state is held across the batch (single shard, so the lock is
+// uncontended), the clock is the query's arrival, and every query sees the
+// loads of all its predecessors. This path mirrors sim.Simulator.Submit
+// step for step, which is what makes its response times bit-identical to
+// stream replay.
+func (w *worker) serveDeterministic(batch []Query) error {
+	s := w.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range batch {
+		q := &batch[i]
+		if q.Arrival < s.clock {
+			return fmt.Errorf("arrival %v before clock %v (deterministic mode needs ordered arrivals)", q.Arrival, s.clock)
+		}
+		s.clock = q.Arrival
+		w.rebuildProblem(s.busyUntil, s.clock, q.Replicas)
+		if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
+			return err
+		}
+		worst := w.applyLoads(s.busyUntil, s.clock)
+		if s.opt.OnSchedule != nil {
+			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
+		}
+		s.results[q.Seq] = Result{
+			Seq:          q.Seq,
+			Worker:       w.id,
+			ResponseTime: worst,
+			Finish:       q.Arrival + worst,
+			Latency:      sinceSubmit(q),
+		}
+	}
+	return nil
+}
+
+// serveConcurrent serves the batch in the online mode: snapshot the shared
+// horizons once, solve the whole batch against the snapshot (each query
+// still seeing the loads of its in-batch predecessors), then fold the
+// blocks the batch scheduled back into the shared horizons. Two lock
+// acquisitions per batch, no lock held while solving. The write-back is
+// additive — start from max(shared horizon, now) and append the batch's
+// blocks — so concurrent workers can never lose each other's load, they
+// only observe it up to one batch late.
+func (w *worker) serveConcurrent(batch []Query) error {
+	s := w.srv
+	now := s.now()
+	s.mu.Lock()
+	copy(w.local, s.busyUntil)
+	s.mu.Unlock()
+	for j := range w.added {
+		w.added[j] = 0
+	}
+	for i := range batch {
+		q := &batch[i]
+		w.rebuildProblem(w.local, now, q.Replicas)
+		if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
+			return err
+		}
+		worst := w.applyLoads(w.local, now)
+		for j, k := range w.res.Schedule.Counts {
+			w.added[j] += k
+		}
+		if s.opt.OnSchedule != nil {
+			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
+		}
+		s.results[q.Seq] = Result{
+			Seq:          q.Seq,
+			Worker:       w.id,
+			ResponseTime: worst,
+			Finish:       now + worst,
+			Latency:      sinceSubmit(q),
+		}
+	}
+	s.mu.Lock()
+	for j, k := range w.added {
+		if k == 0 {
+			continue
+		}
+		start := s.busyUntil[j]
+		if start < now {
+			start = now
+		}
+		s.busyUntil[j] = start + cost.Micros(k)*s.sys.Disks[j].Service
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// rebuildProblem refreshes the worker's pinned Problem in place for one
+// query: the system's disk parameters with the residual busy time (as seen
+// at now) as the initial load X_j, exactly as sim.Simulator.ProblemAt
+// computes it, plus the query's replica lists.
+func (w *worker) rebuildProblem(busy []cost.Micros, now cost.Micros, replicas [][]int) {
+	for j, d := range w.srv.sys.Disks {
+		load := cost.Micros(0)
+		if busy[j] > now {
+			load = busy[j] - now
+		}
+		w.prob.Disks[j] = retrieval.DiskParams{Service: d.Service, Delay: d.Delay, Load: load}
+	}
+	w.prob.Replicas = replicas
+}
+
+// applyLoads executes the solved schedule against the busy horizons and
+// returns the query's response time: each assigned disk appends its blocks
+// to its queue, and the response is the slowest site-delayed completion.
+// The arithmetic mirrors sim.Simulator.Submit exactly — that equivalence
+// is load-bearing for the deterministic mode's bit-identical guarantee.
+func (w *worker) applyLoads(busy []cost.Micros, now cost.Micros) cost.Micros {
+	var worst cost.Micros
+	for j, k := range w.res.Schedule.Counts {
+		if k == 0 {
+			continue
+		}
+		start := busy[j]
+		if start < now {
+			start = now
+		}
+		busy[j] = start + cost.Micros(k)*w.srv.sys.Disks[j].Service
+		if finish := busy[j] + w.srv.sys.Disks[j].Delay; finish-now > worst {
+			worst = finish - now
+		}
+	}
+	return worst
+}
