@@ -11,13 +11,14 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detector stress over the lock-free solver, its callers, and
-## the sharded serving layer.
+## race: race-detector stress over the lock-free solver, its callers,
+## the sharded serving layer, and the analysis framework's driver tests.
 race:
-	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/...
+	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/analysis/...
 
-## lint: the repository's custom analyzers (microsfloat, atomicfield)
-## plus a curated go vet set — see cmd/imflow-lint.
+## lint: the repository's custom analyzers (microsfloat, satarith,
+## atomicfield, lockguard, noalloc) plus a curated go vet set — see
+## cmd/imflow-lint. `-json` emits the machine-readable record stream.
 lint:
 	$(GO) run ./cmd/imflow-lint ./...
 

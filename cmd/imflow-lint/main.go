@@ -1,15 +1,30 @@
 // Command imflow-lint is the repository's multichecker: it runs the
-// custom analyzers that guard the two invariants everything else is
-// built on — the float-free integer-microsecond core (microsfloat) and
-// the sync/atomic access discipline of the lock-free parallel solver
-// (atomicfield) — plus a curated `go vet` set.
+// custom analyzers that guard the invariants everything else is built on
+// — the float-free integer-microsecond core (microsfloat), saturating
+// Micros arithmetic (satarith), the sync/atomic access discipline of the
+// lock-free parallel solver (atomicfield), the mutex guard annotations of
+// the serving layer (lockguard), and the zero-allocation hot paths
+// (noalloc) — plus a curated `go vet` set.
 //
 // Usage:
 //
-//	go run ./cmd/imflow-lint [-novet] [-list] [packages...]
+//	go run ./cmd/imflow-lint [flags] [packages...]
 //
-// With no package patterns it lints ./.... The exit status is non-zero
-// if any analyzer reported a diagnostic or the vet pass failed.
+// With no package patterns it lints ./.... Each analyzer has an
+// enable/disable flag of the same name (-satarith=false skips satarith).
+// -json writes the findings as a stably sorted JSON record array on
+// stdout — the CI artifact and editor-integration format — instead of
+// the human text form.
+//
+// Findings are silenced per line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or immediately above) the flagged line. The reason is mandatory; a
+// reasonless suppression is itself a finding. The exit status is
+// non-zero only for findings (malformed suppressions included) or a
+// failed vet pass — valid suppressions do not fail the run, and -json
+// reports them with "suppressed": true for auditability.
 package main
 
 import (
@@ -20,13 +35,19 @@ import (
 
 	"imflow/internal/analysis"
 	"imflow/internal/analysis/atomicfield"
+	"imflow/internal/analysis/lockguard"
 	"imflow/internal/analysis/microsfloat"
+	"imflow/internal/analysis/noalloc"
+	"imflow/internal/analysis/satarith"
 )
 
-// analyzers is the multichecker's analyzer set.
-var analyzers = []*analysis.Analyzer{
+// roster is the full analyzer set, in documentation order.
+var roster = []*analysis.Analyzer{
 	microsfloat.Analyzer,
+	satarith.Analyzer,
 	atomicfield.Analyzer,
+	lockguard.Analyzer,
+	noalloc.Analyzer,
 }
 
 // vetAnalyzers is the curated go vet set run alongside the custom
@@ -48,15 +69,26 @@ var vetAnalyzers = []string{
 func main() {
 	novet := flag.Bool("novet", false, "skip the curated go vet pass")
 	list := flag.Bool("list", false, "print the analyzer set and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a stably sorted JSON record array on stdout")
+	enabled := map[string]*bool{}
+	for _, a := range roster {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+	}
 	flag.Parse()
 	if *list {
-		for _, a := range analyzers {
+		for _, a := range roster {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		for _, name := range vetAnalyzers {
 			fmt.Printf("%-12s (go vet)\n", name)
 		}
 		return
+	}
+	var analyzers []*analysis.Analyzer
+	for _, a := range roster {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -72,10 +104,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "imflow-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	active, suppressed := analysis.FilterSuppressed(pkgs, diags)
+	if *jsonOut {
+		root, _ := os.Getwd()
+		if err := analysis.WriteJSON(os.Stdout, analysis.Records(root, active, suppressed)); err != nil {
+			fmt.Fprintln(os.Stderr, "imflow-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range active {
+			fmt.Println(d)
+		}
+		if len(suppressed) > 0 {
+			fmt.Fprintf(os.Stderr, "imflow-lint: %d finding(s) suppressed by %s comments\n", len(suppressed), analysis.SuppressPrefix)
+		}
 	}
-	failed := len(diags) > 0
+	failed := len(active) > 0
 	if !*novet {
 		args := []string{"vet"}
 		for _, name := range vetAnalyzers {
@@ -83,7 +127,7 @@ func main() {
 		}
 		args = append(args, patterns...)
 		cmd := exec.Command("go", args...)
-		cmd.Stdout = os.Stdout
+		cmd.Stdout = os.Stderr // keep stdout pure for -json consumers
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
 			failed = true

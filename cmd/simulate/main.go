@@ -79,7 +79,7 @@ func main() {
 	var clock cost.Micros
 	srng := rng.Fork()
 	for i := range stream {
-		clock += cost.FromMillis(float64(1 + srng.Intn(int(2**interMs))))
+		clock = cost.SatAdd(clock, cost.FromMillis(float64(1+srng.Intn(int(2**interMs)))))
 		p := experiment.BuildProblem(sys, alloc, gen.Query(srng))
 		stream[i] = sim.Query{Arrival: clock, Replicas: p.Replicas}
 	}

@@ -40,13 +40,21 @@ type expectation struct {
 // failures. It returns the diagnostics for optional further assertions.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 	t.Helper()
+	return RunAll(t, []*analysis.Analyzer{a}, dir)
+}
+
+// RunAll is Run for a set of analyzers applied together — the driver-level
+// fixtures use it to prove the analyzers compose (expectations then match
+// the merged, sorted diagnostic stream).
+func RunAll(t *testing.T, analyzers []*analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
 	pkg, err := analysis.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	diags, err := analysis.Run(analyzers, []*analysis.Package{pkg})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
 	expects, err := parseExpectations(dir)
 	if err != nil {

@@ -1,0 +1,149 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"imflow/internal/analysis"
+	"imflow/internal/analysis/atomicfield"
+	"imflow/internal/analysis/lockguard"
+	"imflow/internal/analysis/microsfloat"
+	"imflow/internal/analysis/noalloc"
+	"imflow/internal/analysis/satarith"
+)
+
+// suppressFixture runs satarith over testdata/suppress and returns the
+// FilterSuppressed split the driver would see.
+func suppressFixture(t *testing.T) (active []analysis.Diagnostic, suppressed []analysis.Suppressed) {
+	t.Helper()
+	pkg, err := analysis.LoadDir("testdata/suppress")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	pkgs := []*analysis.Package{pkg}
+	diags, err := analysis.Run([]*analysis.Analyzer{satarith.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return analysis.FilterSuppressed(pkgs, diags)
+}
+
+// TestSuppressionForms pins the suppression grammar: the standalone and
+// end-of-line forms silence their finding, a reasonless //lint:ignore
+// silences nothing and surfaces as a malformed-suppression finding, and
+// unsuppressed findings stay active.
+func TestSuppressionForms(t *testing.T) {
+	active, suppressed := suppressFixture(t)
+
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed = %d findings, want 2 (standalone + end-of-line):\n%v", len(suppressed), suppressed)
+	}
+	for _, s := range suppressed {
+		if s.Reason == "" {
+			t.Errorf("suppressed finding at %s carries no reason", s.Pos)
+		}
+	}
+
+	// Active: naked's +, reasonless's * (the reasonless comment must not
+	// silence it), and the malformed-suppression finding itself.
+	if len(active) != 3 {
+		t.Fatalf("active = %d findings, want 3:\n%v", len(active), active)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range active {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["satarith"] != 2 || byAnalyzer["suppress"] != 1 {
+		t.Fatalf("active analyzer counts = %v, want map[satarith:2 suppress:1]", byAnalyzer)
+	}
+}
+
+// TestJSONOutputStable proves the -json encoding is deterministic: two
+// renders of the same findings are byte-identical, records are totally
+// ordered, paths are root-relative, and suppressed records carry their
+// reason.
+func TestJSONOutputStable(t *testing.T) {
+	active, suppressed := suppressFixture(t)
+
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := analysis.Records(root, active, suppressed)
+
+	var first, second bytes.Buffer
+	if err := analysis.WriteJSON(&first, recs); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := analysis.WriteJSON(&second, analysis.Records(root, active, suppressed)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("two renders of the same findings differ:\n%s\n---\n%s", first.String(), second.String())
+	}
+
+	var decoded []analysis.Record
+	if err := json.Unmarshal(first.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(active)+len(suppressed) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(active)+len(suppressed))
+	}
+	if !sort.SliceIsSorted(decoded, func(i, j int) bool {
+		a, b := decoded[i], decoded[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Fatalf("records are not sorted by file/line/col:\n%s", first.String())
+	}
+	for _, r := range decoded {
+		if filepath.IsAbs(r.File) {
+			t.Errorf("record file %q is absolute; want root-relative", r.File)
+		}
+		if r.Suppressed && r.Reason == "" {
+			t.Errorf("suppressed record at %s:%d has no reason", r.File, r.Line)
+		}
+		if !r.Suppressed && r.Reason != "" {
+			t.Errorf("active record at %s:%d carries a reason %q", r.File, r.Line, r.Reason)
+		}
+	}
+}
+
+// TestRepoIsClean mirrors the CI gate: the full analyzer roster over the
+// whole module must produce no active findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	roster := []*analysis.Analyzer{
+		microsfloat.Analyzer,
+		satarith.Analyzer,
+		atomicfield.Analyzer,
+		lockguard.Analyzer,
+		noalloc.Analyzer,
+	}
+	diags, err := analysis.Run(roster, pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	active, _ := analysis.FilterSuppressed(pkgs, diags)
+	for _, d := range active {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Record is the machine-readable form of one finding, the unit of the
+// driver's -json output. CI uploads the record stream as an artifact and
+// editor integrations consume it, so the encoding is append-only: fields
+// may be added, never renamed or reordered.
+type Record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed marks findings silenced by a //lint:ignore comment;
+	// they are reported for auditability but do not fail the run.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Records converts active and suppressed findings into one stably sorted
+// record slice. File paths are rewritten relative to root (when possible)
+// so the output is identical across checkouts.
+func Records(root string, active []Diagnostic, suppressed []Suppressed) []Record {
+	out := make([]Record, 0, len(active)+len(suppressed))
+	for _, d := range active {
+		out = append(out, record(root, d, ""))
+	}
+	for _, s := range suppressed {
+		out = append(out, record(root, s.Diagnostic, s.Reason))
+	}
+	sortRecords(out)
+	return out
+}
+
+func record(root string, d Diagnostic, reason string) Record {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return Record{
+		File:       file,
+		Line:       d.Pos.Line,
+		Col:        d.Pos.Column,
+		Analyzer:   d.Analyzer,
+		Message:    d.Message,
+		Suppressed: reason != "",
+		Reason:     reason,
+	}
+}
+
+// sortRecords imposes the same total order sortDiagnostics uses, with
+// active findings before suppressed ones at identical positions.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return !a.Suppressed && b.Suppressed
+	})
+}
+
+// WriteJSON renders the records as indented JSON (one stable document,
+// trailing newline) to w.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if recs == nil {
+		recs = []Record{}
+	}
+	return enc.Encode(recs)
+}

@@ -1,0 +1,304 @@
+// Package lockguard implements the analyzer that enforces mutex guard
+// annotations on shared struct fields.
+//
+// A struct field whose declaration comment says "guarded by <field>" —
+// e.g. serve.Server's busyUntil and clock, guarded by mu — may only be
+// read or written while the named sibling guard is held. The analyzer
+// proves that syntactically, per function, with three accepted shapes:
+//
+//   - a dominating <base>.<guard>.Lock() (or RLock) call on the same base
+//     expression earlier in the function with no intervening Unlock;
+//     defer <base>.<guard>.Unlock() keeps the guard held to return, as it
+//     does at runtime;
+//   - for sync.Once guards, an access inside the function literal passed
+//     to <base>.<guard>.Do(...);
+//   - an explicit //imflow:locked(<guard>) directive on the enclosing
+//     function's doc comment — the caller-holds-the-lock contract of
+//     helper methods, reviewed like any other concurrency claim.
+//
+// The Lock tracking is a straight-line approximation: it follows source
+// order and does not model branches, so a Lock inside a conditional
+// counts for the code after it. That is deliberately permissive — the
+// analyzer exists to catch accesses with *no* locking discipline in
+// sight, and `go test -race` remains the dynamic backstop.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"imflow/internal/analysis"
+)
+
+// Marker matches the field-comment annotation putting a field under the
+// analyzer's discipline, capturing the guard field's name.
+var Marker = regexp.MustCompile(`guarded by (\w+)`)
+
+// DirectivePrefix introduces the caller-holds-the-lock claim; the full
+// form is //imflow:locked(<guard>).
+const DirectivePrefix = "//imflow:locked("
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields documented \"guarded by <field>\" may only be accessed holding that guard or under //imflow:locked",
+	Run:  run,
+}
+
+// guardedField records the annotation of one field.
+type guardedField struct {
+	guard string // sibling field name that protects it
+	once  bool   // guard is a sync.Once (held inside guard.Do closures)
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded resolves every "guarded by" annotation in the package to
+// its field object, reporting annotations whose guard is not a sibling
+// field (a typo there would otherwise disable the check silently).
+func collectGuarded(pass *analysis.Pass) map[types.Object]guardedField {
+	out := map[types.Object]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]*ast.Field{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = field
+				}
+			}
+			for _, field := range st.Fields.List {
+				guard := markerGuard(field.Doc)
+				if guard == "" {
+					guard = markerGuard(field.Comment)
+				}
+				if guard == "" {
+					continue
+				}
+				gf, ok := siblings[guard]
+				if !ok {
+					pass.Reportf(field.Pos(), "field is guarded by %q, which is not a field of the same struct", guard)
+					continue
+				}
+				info := guardedField{guard: guard, once: isOnce(pass.TypeOf(gf.Type))}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = info
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func markerGuard(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := Marker.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// lockedDirectives returns the guard names the function's doc comment
+// claims are held by the caller.
+func lockedDirectives(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Doc == nil {
+		return out
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+		if !ok {
+			continue
+		}
+		if name, ok := strings.CutSuffix(rest, ")"); ok && name != "" {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// checkFunc walks one function in source order, tracking which
+// (base, guard) pairs are held, and reports guarded-field accesses made
+// while their guard is provably not in scope.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	locked := lockedDirectives(fd)
+	held := map[string]bool{} // "base.guard" -> held at this point of the walk
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			base, guard, op := lockOp(n)
+			if op == "" {
+				return true
+			}
+			key := base + "." + guard
+			switch op {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				// A deferred Unlock releases at return, after every
+				// access in the body: the guard stays held for the walk.
+				if _, isDefer := parent(stack, 1).(*ast.DeferStmt); !isDefer {
+					delete(held, key)
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := selectedField(pass, n)
+			if obj == nil {
+				return true
+			}
+			info, ok := guarded[obj]
+			if !ok {
+				return true
+			}
+			if locked[info.guard] {
+				return true
+			}
+			base := exprString(n.X)
+			if base != "" && held[base+"."+info.guard] {
+				return true
+			}
+			if info.once && inOnceDo(stack, base, info.guard) {
+				return true
+			}
+			pass.Reportf(n.Sel.Pos(),
+				"field %s is guarded by %s: hold %s.%s or mark %s //imflow:locked(%s)",
+				obj.Name(), info.guard, base, info.guard, fd.Name.Name, info.guard)
+		}
+		return true
+	})
+}
+
+// lockOp decodes a call of the shape <base>.<guard>.Lock/RLock/Unlock/
+// RUnlock(), returning the rendered base, the guard field name and the
+// operation ("" when the call is not a lock operation).
+func lockOp(call *ast.CallExpr) (base, guard, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	base = exprString(inner.X)
+	if base == "" {
+		return "", "", ""
+	}
+	return base, inner.Sel.Name, sel.Sel.Name
+}
+
+// inOnceDo reports whether the access sits inside a function literal that
+// is an argument of <base>.<guard>.Do(...).
+func inOnceDo(stack []ast.Node, base, guard string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fl, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := parent(stack[:i+1], 1).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" {
+			continue
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != guard {
+			continue
+		}
+		if exprString(inner.X) == base {
+			for _, arg := range call.Args {
+				if arg == ast.Expr(fl) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// parent returns the n-th ancestor of the last stack element.
+func parent(stack []ast.Node, n int) ast.Node {
+	i := len(stack) - 1 - n
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// selectedField resolves a selector to the struct field object it names.
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// exprString renders the ident/selector chains lock bases are made of
+// ("s", "w.srv"); anything more exotic yields "" and is never matched.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return ""
+}
+
+// isOnce reports whether t is (a pointer to) sync.Once.
+func isOnce(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Once" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,25 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/lockguard"
+)
+
+// TestUnguardedAccess proves the analyzer reports lock-free accesses to
+// annotated fields — direct, through selector chains, after an Unlock,
+// and outside a sync.Once Do closure — plus guard-name typos.
+func TestUnguardedAccess(t *testing.T) {
+	diags := analyzertest.Run(t, lockguard.Analyzer, "testdata/lockbad")
+	if len(diags) == 0 {
+		t.Fatal("deliberate-violation fixture produced no diagnostics")
+	}
+}
+
+// TestDisciplinedAccess proves the sanctioned shapes stay silent:
+// Lock/Unlock brackets, defer Unlock, re-locking, //imflow:locked
+// helpers, Once.Do closures, and unannotated fields.
+func TestDisciplinedAccess(t *testing.T) {
+	analyzertest.Run(t, lockguard.Analyzer, "testdata/lockok")
+}

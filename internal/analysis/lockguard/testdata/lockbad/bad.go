@@ -1,0 +1,42 @@
+// Package lockbad is the lockguard violation fixture: guarded-field
+// accesses with no locking discipline in sight, plus annotation typos.
+package lockbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the live count; guarded by mu.
+	n int
+
+	once sync.Once
+	// seeded records one-time init; guarded by once.
+	seeded bool
+
+	phantom int // guarded by ghost // want "is not a field of the same struct"
+}
+
+// bump touches n with no lock anywhere.
+func (c *counter) bump() {
+	c.n++ // want "field n is guarded by mu"
+}
+
+// readThrough reads via a selector chain base.
+type holder struct{ c *counter }
+
+func (h *holder) read() int {
+	return h.c.n // want "field n is guarded by mu"
+}
+
+// unlockThenWrite releases the mutex before the write.
+func (c *counter) unlockThenWrite() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want "field n is guarded by mu"
+}
+
+// outsideDo touches the Once-guarded field outside the Do closure.
+func (c *counter) outsideDo() {
+	c.seeded = true // want "field seeded is guarded by once"
+}

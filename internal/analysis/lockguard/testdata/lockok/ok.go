@@ -1,0 +1,63 @@
+// Package lockok is the lockguard clean fixture: every sanctioned access
+// shape stays silent.
+package lockok
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	// n is the live count; guarded by mu.
+	n int
+
+	once sync.Once
+	// seeded records one-time init; guarded by once.
+	seeded bool
+
+	free int // unannotated: out of scope
+}
+
+// locked brackets the access in Lock/Unlock.
+func (c *counter) locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferred holds the lock to return, as the runtime does.
+func (c *counter) deferred() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// relock releases and reacquires before the second access.
+func (c *counter) relock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.n = 2
+	c.mu.Unlock()
+}
+
+// helper documents the caller-holds-the-lock contract instead.
+//
+//imflow:locked(mu)
+func (c *counter) helper() int { return c.n }
+
+// seed touches the Once-guarded field inside the Do closure.
+func (c *counter) seed() {
+	c.once.Do(func() { c.seeded = true })
+}
+
+// chainBase locks through the same selector chain it accesses through.
+type holder struct{ c *counter }
+
+func (h *holder) read() int {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.c.n
+}
+
+// untracked fields need no discipline.
+func (c *counter) plain() { c.free++ }

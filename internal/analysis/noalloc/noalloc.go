@@ -1,0 +1,274 @@
+// Package noalloc implements the analyzer that keeps the repository's
+// declared steady-state hot paths free of allocating constructs.
+//
+// A function marked //imflow:noalloc — the ReusableSolver.SolveInto
+// implementations and the serve worker's batch loop — is one the
+// AllocsPerRun gates require to perform zero heap allocations once its
+// pinned buffers have converged. The dynamic gates only measure the
+// configurations the benchmarks happen to run; this analyzer rejects the
+// allocating constructs *syntactically*, in every build:
+//
+//   - make and new;
+//   - composite literals whose address is taken (&T{...}) and slice or
+//     map literals, which always heap-allocate their backing store;
+//   - append whose destination is not rooted at the function's receiver
+//     (receiver-owned slices amortize to zero allocations as their
+//     capacity converges; anything else is a fresh backing array in
+//     steady state);
+//   - function literals (closure environments live on the heap);
+//   - any call into package fmt (formatting allocates);
+//   - string concatenation;
+//   - implicit interface conversions at call sites and returns (boxing
+//     a concrete value allocates).
+//
+// The directive covers only the function body it annotates: callees make
+// their own claims. Cold paths inside a hot function — first-call lazy
+// initialization, error exits that abort the solve — carry a reasoned
+// //lint:ignore noalloc suppression instead of weakening the analyzer.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imflow/internal/analysis"
+)
+
+// Directive marks a function whose body must not allocate in steady
+// state.
+const Directive = "//imflow:noalloc"
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions marked //imflow:noalloc may not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// receiverName returns the name of fd's receiver, "" for functions and
+// anonymous receivers.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverName(fd)
+	results := resultTypes(pass, fd)
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, recv)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n, stack)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //imflow:noalloc function %s allocates its environment", fd.Name.Name)
+			// The literal's body is not part of the hot path: skip it.
+			// Inspect makes no closing nil call after a false return, so
+			// pop the frame here.
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n)) {
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded at compile time
+				}
+				pass.Reportf(n.OpPos, "string concatenation in //imflow:noalloc function %s allocates", fd.Name.Name)
+			}
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				if i < len(results) && boxes(pass, results[i], res) {
+					pass.Reportf(res.Pos(), "return boxes %s into interface %s in //imflow:noalloc function %s",
+						pass.TypeOf(res), results[i], fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resultTypes returns the declared result types of fd.
+func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
+	var out []types.Type
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, recv string) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): allocates only when T is an interface.
+		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion boxes %s into interface %s", pass.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in //imflow:noalloc function", id.Name)
+			case "append":
+				if len(call.Args) > 0 && !rootedAt(call.Args[0], recv) {
+					pass.Reportf(call.Pos(), "append to a slice not owned by the receiver allocates in steady state")
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s allocates in //imflow:noalloc function", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Implicit interface conversions of the arguments.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if pt := paramType(sig, i, call); boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface %s", pass.TypeOf(arg), pt)
+		}
+	}
+}
+
+// paramType returns the type of the i-th argument's parameter, unrolling
+// variadic tails (nil for a spread call's slice argument).
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis.IsValid() {
+			return nil // a []T passed as T... is not boxed per element
+		}
+		s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// checkCompositeLit flags literals that must heap-allocate: slice and map
+// literals, and struct literals whose address is taken.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(lit.Pos(), "%s literal allocates its backing store", t)
+		return
+	}
+	if addr, ok := parent(stack, 1).(*ast.UnaryExpr); ok && addr.Op == token.AND && addr.X == ast.Expr(lit) {
+		pass.Reportf(lit.Pos(), "&%s literal escapes to the heap", t)
+	}
+}
+
+// isString reports whether t is a string type.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func parent(stack []ast.Node, n int) ast.Node {
+	i := len(stack) - 1 - n
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// rootedAt reports whether expr is a selector/index chain rooted at the
+// identifier named root (e.g. w.batch, w.res.Schedule.Counts[i]).
+func rootedAt(expr ast.Expr, root string) bool {
+	if root == "" {
+		return false
+	}
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e.Name == root
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type dst is an
+// interface conversion that must box a concrete value.
+func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || expr == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	src := pass.TypeOf(expr)
+	if src == nil {
+		return false
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false // nil interface, no allocation
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface, no boxing
+	}
+	if _, ok := src.Underlying().(*types.Pointer); ok {
+		return false // pointers fit an iface word without allocating
+	}
+	return true
+}

@@ -1,0 +1,27 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/noalloc"
+)
+
+// TestAllocatingConstructs proves every allocating shape — make/new,
+// escaping literals, closures, fmt calls, string concatenation,
+// non-receiver append, and interface boxing at call, return, and
+// conversion sites — is reported inside //imflow:noalloc functions.
+func TestAllocatingConstructs(t *testing.T) {
+	diags := analyzertest.Run(t, noalloc.Analyzer, "testdata/allocbad")
+	if len(diags) == 0 {
+		t.Fatal("deliberate-violation fixture produced no diagnostics")
+	}
+}
+
+// TestSteadyStateShapes proves the admitted shapes stay silent:
+// receiver-rooted append, in-place reslicing, value literals, constant
+// concatenation, pointer-into-interface, nil returns, and unannotated
+// functions.
+func TestSteadyStateShapes(t *testing.T) {
+	analyzertest.Run(t, noalloc.Analyzer, "testdata/allocok")
+}

@@ -1,0 +1,65 @@
+// Package allocbad is the noalloc violation fixture: every allocating
+// construct the analyzer must report inside an annotated function.
+package allocbad
+
+import "fmt"
+
+type sink struct {
+	buf []int
+}
+
+//imflow:noalloc
+func (s *sink) build(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//imflow:noalloc
+func fresh() *sink {
+	return new(sink) // want "new allocates"
+}
+
+//imflow:noalloc
+func literals() {
+	_ = []int{1, 2, 3}           // want "literal allocates its backing store"
+	_ = map[string]int{"one": 1} // want "literal allocates its backing store"
+	_ = &sink{}                  // want "literal escapes to the heap"
+}
+
+//imflow:noalloc
+func capture(n int) func() int {
+	return func() int { return n } // want "closure in //imflow:noalloc function capture allocates its environment"
+}
+
+//imflow:noalloc
+func report(err error) string {
+	return fmt.Sprintf("boom: %v", err) // want "fmt.Sprintf allocates"
+}
+
+//imflow:noalloc
+func join(a, b string) string {
+	return a + b // want "string concatenation in //imflow:noalloc function join allocates"
+}
+
+//imflow:noalloc
+func (s *sink) stray(xs []int, v int) []int {
+	return append(xs, v) // want "append to a slice not owned by the receiver allocates in steady state"
+}
+
+func consume(v interface{}) { _ = v }
+
+//imflow:noalloc
+func boxArg(n int) {
+	consume(n) // want "argument boxes int into interface"
+}
+
+//imflow:noalloc
+func boxReturn(n int) interface{} {
+	return n // want "return boxes int into interface"
+}
+
+type boxy interface{}
+
+//imflow:noalloc
+func boxConvert(n int) boxy {
+	return boxy(n) // want "conversion boxes int into interface"
+}

@@ -1,0 +1,65 @@
+// Package allocok is the noalloc clean fixture: the allocation-free
+// steady-state shapes the directive is designed to admit.
+package allocok
+
+type ring struct {
+	buf  []int
+	next int
+}
+
+// push appends into receiver-owned storage: amortized reuse, not a
+// fresh allocation per call.
+//
+//imflow:noalloc
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// reset reslices in place.
+//
+//imflow:noalloc
+func (r *ring) reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+}
+
+type pair struct{ a, b int }
+
+// sum builds a value struct literal that never escapes.
+//
+//imflow:noalloc
+func (r *ring) sum() pair {
+	p := pair{a: r.next, b: len(r.buf)}
+	return p
+}
+
+// label concatenates compile-time constants only.
+//
+//imflow:noalloc
+func label() string {
+	const prefix = "imflow/"
+	return prefix + "ring"
+}
+
+type consumer interface{ take() }
+
+func (r *ring) take() {}
+
+// hand stores a pointer in the interface word: no boxing allocation.
+//
+//imflow:noalloc
+func hand(r *ring) consumer {
+	return r
+}
+
+// none returns the untyped nil interface value.
+//
+//imflow:noalloc
+func none() error {
+	return nil
+}
+
+// free is unannotated, so it may allocate at will.
+func free() []int {
+	return make([]int, 8)
+}

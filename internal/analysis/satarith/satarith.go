@@ -1,0 +1,109 @@
+// Package satarith implements the analyzer that keeps cost.Micros
+// arithmetic saturating outside the cost package itself.
+//
+// DESIGN.md's overflow rule (§2) is that every sum, difference and
+// product of cost.Micros values goes through cost.SatAdd, cost.SatSub and
+// cost.SatMul, which clamp at cost.Max/cost.Min instead of wrapping: a
+// completion time that does not fit the representation must compare as
+// "later than everything", never as a small wrapped value that fabricates
+// capacity in floor((t-D-X)/C). The analyzer makes the rule mechanical:
+//
+//   - Raw binary `+`, `-` and `*` expressions with a cost.Micros operand
+//     are reported, as are the compound assignments `+=`, `-=`, `*=` and
+//     the `++`/`--` statements on a Micros location.
+//   - Division, shifts and comparisons are exempt: they cannot overflow
+//     int64 (the lone exception, Min / -1, cannot arise because validated
+//     times are non-negative).
+//   - Constant expressions are exempt: the compiler already rejects
+//     overflowing constant arithmetic at build time.
+//   - The cost package itself is exempt — it is where the saturating
+//     helpers are implemented, and its wrap-checks are the point.
+//
+// Sites where wrap is provably impossible (e.g. a difference of two
+// values already clamped to the same range) opt out per line with a
+// reasoned `//lint:ignore satarith <why>` suppression.
+package satarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imflow/internal/analysis"
+)
+
+// costPath is the one package allowed to do raw Micros arithmetic.
+const costPath = "imflow/internal/cost"
+
+// helper maps a flagged operator to the saturating replacement.
+var helper = map[token.Token]string{
+	token.ADD:        "cost.SatAdd",
+	token.SUB:        "cost.SatSub",
+	token.MUL:        "cost.SatMul",
+	token.ADD_ASSIGN: "cost.SatAdd",
+	token.SUB_ASSIGN: "cost.SatSub",
+	token.MUL_ASSIGN: "cost.SatMul",
+	token.INC:        "cost.SatAdd",
+	token.DEC:        "cost.SatSub",
+}
+
+// Analyzer is the satarith analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "satarith",
+	Doc:  "raw +/-/* on cost.Micros wraps on overflow; use cost.SatAdd/SatSub/SatMul",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == costPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				name, flagged := helper[n.Op]
+				if !flagged {
+					return true
+				}
+				if !isMicros(pass.TypeOf(n.X)) && !isMicros(pass.TypeOf(n.Y)) {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded: the compiler checks overflow
+				}
+				pass.Reportf(n.OpPos, "raw %s on cost.Micros can wrap; use %s", n.Op, name)
+			case *ast.AssignStmt:
+				name, flagged := helper[n.Tok]
+				if !flagged {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isMicros(pass.TypeOf(lhs)) {
+						pass.Reportf(n.TokPos, "raw %s on cost.Micros can wrap; use %s", n.Tok, name)
+						break
+					}
+				}
+			case *ast.IncDecStmt:
+				if isMicros(pass.TypeOf(n.X)) {
+					pass.Reportf(n.TokPos, "raw %s on cost.Micros can wrap; use %s", n.Tok, helper[n.Tok])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMicros reports whether t is (an alias of) cost.Micros.
+func isMicros(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Micros" && obj.Pkg() != nil && obj.Pkg().Path() == costPath
+}

@@ -1,0 +1,24 @@
+package satarith_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/satarith"
+)
+
+// TestRawArithmetic proves every wrapping operator shape on cost.Micros —
+// binary +, -, *, the compound assignments, and ++/-- — is reported with
+// the matching Sat* helper named in the message.
+func TestRawArithmetic(t *testing.T) {
+	diags := analyzertest.Run(t, satarith.Analyzer, "testdata/satbad")
+	if len(diags) == 0 {
+		t.Fatal("deliberate-violation fixture produced no diagnostics")
+	}
+}
+
+// TestSanctionedShapes proves the analyzer stays silent on Sat* calls,
+// division, comparisons, constant folding, and plain integer arithmetic.
+func TestSanctionedShapes(t *testing.T) {
+	analyzertest.Run(t, satarith.Analyzer, "testdata/satok")
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// SuppressPrefix introduces a per-line suppression comment:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The comment silences diagnostics of the named analyzer on its own line
+// (end-of-line form) or on the line immediately below (standalone form).
+// The reason is mandatory: a suppression is a reviewed claim that the
+// flagged construct is safe, and the claim has to be stated where the
+// next reader will look for it. A malformed suppression is itself a
+// finding, attributed to the pseudo-analyzer "suppress".
+const SuppressPrefix = "//lint:ignore"
+
+// Suppression is one parsed //lint:ignore comment.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Suppressed pairs a silenced diagnostic with the reason its suppression
+// stated, for auditable reporting.
+type Suppressed struct {
+	Diagnostic
+	Reason string
+}
+
+// FilterSuppressed splits diags into the findings that remain active and
+// the ones silenced by a //lint:ignore comment in pkgs. Malformed
+// suppressions (missing analyzer or reason) are appended to the active
+// findings so they can never silently disable a check.
+func FilterSuppressed(pkgs []*Package, diags []Diagnostic) (active []Diagnostic, suppressed []Suppressed) {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := map[key]*Suppression{}
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, SuppressPrefix)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "suppress",
+							Pos:      pos,
+							Message:  fmt.Sprintf("suppression needs a mandatory reason: %s <analyzer> <reason>", SuppressPrefix),
+						})
+						continue
+					}
+					s := &Suppression{Pos: pos, Analyzer: fields[0], Reason: strings.Join(fields[1:], " ")}
+					index[key{pos.Filename, pos.Line, s.Analyzer}] = s
+					// Standalone comment lines cover the next source line.
+					index[key{pos.Filename, pos.Line + 1, s.Analyzer}] = s
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if s, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			suppressed = append(suppressed, Suppressed{Diagnostic: d, Reason: s.Reason})
+			continue
+		}
+		active = append(active, d)
+	}
+	active = append(active, malformed...)
+	sortDiagnostics(active)
+	return active, suppressed
+}

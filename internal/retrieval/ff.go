@@ -38,7 +38,10 @@ func (s *FFBasic) Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// SolveInto implements ReusableSolver.
+// SolveInto implements ReusableSolver. The noalloc analyzer holds this
+// body to zero steady-state allocations.
+//
+//imflow:noalloc
 func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -80,6 +83,7 @@ func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
 	if res.Schedule == nil {
+		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
 		res.Schedule = &Schedule{}
 	}
 	return net.extractScheduleInto(p, res.Schedule)
@@ -112,7 +116,10 @@ func (s *FFIncremental) Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// SolveInto implements ReusableSolver.
+// SolveInto implements ReusableSolver. The noalloc analyzer holds this
+// body to zero steady-state allocations.
+//
+//imflow:noalloc
 func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -134,6 +141,7 @@ func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
 		g.Push(net.srcArc[i], 1)
 		for ff.AugmentFromAvoiding(net.bucketVertex(i), net.t, net.s) == 0 {
 			if s.st.incrementMinCost(net) == cost.Max {
+				//lint:ignore noalloc cold failure exit; aborts the solve, never the steady state
 				return fmt.Errorf("retrieval: bucket %d unroutable with all disk edges saturated", i)
 			}
 			res.Stats.Increments++
@@ -144,6 +152,7 @@ func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
 	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
 	if res.Schedule == nil {
+		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
 		res.Schedule = &Schedule{}
 	}
 	return net.extractScheduleInto(p, res.Schedule)

@@ -60,6 +60,7 @@ func (p *Problem) Validate() error {
 		// D_j + X_j must stay on the time axis: every capacity and finish
 		// computation starts from this sum, and admitting a wrapping pair
 		// here would make each of them silently saturate.
+		//lint:ignore satarith Load is non-negative (checked above), so Max-Load cannot wrap
 		if d.Delay > cost.Max-d.Load {
 			return fmt.Errorf("retrieval: disk %d delay+load exceeds the time axis", j)
 		}

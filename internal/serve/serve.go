@@ -127,10 +127,14 @@ type Server struct {
 	sys *storage.System
 	opt Options
 
-	// mu guards the shared online load state.
-	mu        sync.Mutex
-	busyUntil []cost.Micros // absolute model instant each disk drains its queue
-	clock     cost.Micros   // deterministic mode: high-water arrival
+	// mu guards the shared online load state. The lockguard analyzer
+	// enforces the annotations below mechanically.
+	mu sync.Mutex
+	// busyUntil is the absolute model instant each disk drains its
+	// queue; guarded by mu.
+	busyUntil []cost.Micros
+	// clock is the deterministic mode's high-water arrival; guarded by mu.
+	clock cost.Micros
 
 	queues  []chan Query
 	workers []*worker
@@ -147,7 +151,9 @@ type Server struct {
 
 	failed  atomic.Bool
 	errOnce sync.Once
-	err     error
+	// err is the first worker error; guarded by errOnce (written only
+	// inside errOnce.Do, read only after wg.Wait).
+	err error
 }
 
 // New returns a server over sys sized for total queries (the dense Seq
@@ -245,6 +251,7 @@ func (s *Server) Wait() ([]Result, error) {
 		close(q)
 	}
 	s.wg.Wait()
+	//lint:ignore lockguard wg.Wait above establishes happens-before with every errOnce.Do writer
 	return s.results, s.err
 }
 

@@ -52,7 +52,11 @@ func (s *Server) newWorker(id int) *worker {
 // loop is the shard's serving loop: block for one query, coalesce whatever
 // else is already queued (up to Options.Batch) into an admission batch,
 // serve the batch. After a server-level failure the loop keeps draining so
-// blocked submitters are released, but serves nothing.
+// blocked submitters are released, but serves nothing. The noalloc
+// analyzer holds the loop (and the serve paths below) to zero
+// steady-state allocations.
+//
+//imflow:noalloc
 func (w *worker) loop(queue <-chan Query) {
 	for {
 		first, ok := <-queue
@@ -77,6 +81,7 @@ func (w *worker) loop(queue <-chan Query) {
 			continue // drain-only: release submitters, serve nothing
 		}
 		if err := w.serveBatch(w.batch); err != nil {
+			//lint:ignore noalloc cold failure exit; fires once and flips the server into drain mode
 			w.srv.fail(fmt.Errorf("serve: worker %d: %w", w.id, err))
 		}
 	}
@@ -96,6 +101,8 @@ func (w *worker) serveBatch(batch []Query) error {
 // loads of all its predecessors. This path mirrors sim.Simulator.Submit
 // step for step, which is what makes its response times bit-identical to
 // stream replay.
+//
+//imflow:noalloc
 func (w *worker) serveDeterministic(batch []Query) error {
 	s := w.srv
 	s.mu.Lock()
@@ -103,6 +110,7 @@ func (w *worker) serveDeterministic(batch []Query) error {
 	for i := range batch {
 		q := &batch[i]
 		if q.Arrival < s.clock {
+			//lint:ignore noalloc cold failure exit; misuse report, aborts the batch
 			return fmt.Errorf("arrival %v before clock %v (deterministic mode needs ordered arrivals)", q.Arrival, s.clock)
 		}
 		s.clock = q.Arrival
@@ -118,7 +126,7 @@ func (w *worker) serveDeterministic(batch []Query) error {
 			Seq:          q.Seq,
 			Worker:       w.id,
 			ResponseTime: worst,
-			Finish:       q.Arrival + worst,
+			Finish:       cost.SatAdd(q.Arrival, worst),
 			Latency:      sinceSubmit(q),
 		}
 	}
@@ -133,6 +141,8 @@ func (w *worker) serveDeterministic(batch []Query) error {
 // additive — start from max(shared horizon, now) and append the batch's
 // blocks — so concurrent workers can never lose each other's load, they
 // only observe it up to one batch late.
+//
+//imflow:noalloc
 func (w *worker) serveConcurrent(batch []Query) error {
 	s := w.srv
 	now := s.now()
@@ -159,7 +169,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 			Seq:          q.Seq,
 			Worker:       w.id,
 			ResponseTime: worst,
-			Finish:       now + worst,
+			Finish:       cost.SatAdd(now, worst),
 			Latency:      sinceSubmit(q),
 		}
 	}
@@ -172,7 +182,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 		if start < now {
 			start = now
 		}
-		s.busyUntil[j] = start + cost.Micros(k)*s.sys.Disks[j].Service
+		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), s.sys.Disks[j].Service))
 	}
 	s.mu.Unlock()
 	return nil
@@ -182,11 +192,13 @@ func (w *worker) serveConcurrent(batch []Query) error {
 // query: the system's disk parameters with the residual busy time (as seen
 // at now) as the initial load X_j, exactly as sim.Simulator.ProblemAt
 // computes it, plus the query's replica lists.
+//
+//imflow:noalloc
 func (w *worker) rebuildProblem(busy []cost.Micros, now cost.Micros, replicas [][]int) {
 	for j, d := range w.srv.sys.Disks {
 		load := cost.Micros(0)
 		if busy[j] > now {
-			load = busy[j] - now
+			load = cost.SatSub(busy[j], now)
 		}
 		w.prob.Disks[j] = retrieval.DiskParams{Service: d.Service, Delay: d.Delay, Load: load}
 	}
@@ -198,6 +210,8 @@ func (w *worker) rebuildProblem(busy []cost.Micros, now cost.Micros, replicas []
 // to its queue, and the response is the slowest site-delayed completion.
 // The arithmetic mirrors sim.Simulator.Submit exactly — that equivalence
 // is load-bearing for the deterministic mode's bit-identical guarantee.
+//
+//imflow:noalloc
 func (w *worker) applyLoads(busy []cost.Micros, now cost.Micros) cost.Micros {
 	var worst cost.Micros
 	for j, k := range w.res.Schedule.Counts {
@@ -208,9 +222,10 @@ func (w *worker) applyLoads(busy []cost.Micros, now cost.Micros) cost.Micros {
 		if start < now {
 			start = now
 		}
-		busy[j] = start + cost.Micros(k)*w.srv.sys.Disks[j].Service
-		if finish := busy[j] + w.srv.sys.Disks[j].Delay; finish-now > worst {
-			worst = finish - now
+		busy[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), w.srv.sys.Disks[j].Service))
+		finish := cost.SatAdd(busy[j], w.srv.sys.Disks[j].Delay)
+		if resp := cost.SatSub(finish, now); resp > worst {
+			worst = resp
 		}
 	}
 	return worst

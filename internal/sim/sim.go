@@ -96,7 +96,7 @@ func (s *Simulator) LoadAt(j int, now cost.Micros) cost.Micros {
 	if s.busyUntil[j] <= now {
 		return 0
 	}
-	return s.busyUntil[j] - now
+	return cost.SatSub(s.busyUntil[j], now)
 }
 
 // ProblemAt builds the generalized retrieval problem for a query arriving
@@ -142,17 +142,18 @@ func (s *Simulator) Submit(q Query) (*QueryResult, error) {
 		if start < s.clock {
 			start = s.clock
 		}
-		s.busyUntil[j] = start + cost.Micros(k)*s.sys.Disks[j].Service
+		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), s.sys.Disks[j].Service))
 		s.traces[j].Blocks += k
 		s.traces[j].BusyUntil = s.busyUntil[j]
-		if finish := s.busyUntil[j] + s.sys.Disks[j].Delay; finish-s.clock > worst {
-			worst = finish - s.clock
+		finish := cost.SatAdd(s.busyUntil[j], s.sys.Disks[j].Delay)
+		if resp := cost.SatSub(finish, s.clock); resp > worst {
+			worst = resp
 		}
 	}
 	r := QueryResult{
 		Arrival:      q.Arrival,
 		ResponseTime: worst,
-		Finish:       q.Arrival + worst,
+		Finish:       cost.SatAdd(q.Arrival, worst),
 		Schedule:     sched,
 	}
 	s.results = append(s.results, r)

@@ -29,7 +29,7 @@ func (u UniformArrivals) Next(rng *xrand.Source) cost.Micros {
 	if u.Hi <= u.Lo {
 		return u.Lo
 	}
-	return u.Lo + cost.Micros(rng.Intn(int(u.Hi-u.Lo)+1))
+	return cost.SatAdd(u.Lo, cost.Micros(rng.Intn(int(cost.SatSub(u.Hi, u.Lo))+1)))
 }
 
 // Name implements ArrivalProcess.
@@ -80,7 +80,7 @@ func (sp StreamSpec) Generate() ([]Query, error) {
 	out := make([]Query, sp.Queries)
 	var clock cost.Micros
 	for i := range out {
-		clock += sp.Arrivals.Next(rng)
+		clock = cost.SatAdd(clock, sp.Arrivals.Next(rng))
 		p := experiment.BuildProblem(sp.System, sp.Alloc, gen.Query(rng))
 		out[i] = Query{Arrival: clock, Replicas: p.Replicas}
 	}
@@ -126,7 +126,7 @@ func Compare(sys *storage.System, stream []Query, scheds ...Scheduler) ([]Compar
 		c.Utilization = make([]float64, sys.NumDisks())
 		if horizon > 0 {
 			for j, tr := range s.Traces() {
-				busy := cost.Micros(tr.Blocks) * sys.Disks[j].Service
+				busy := cost.SatMul(cost.Micros(tr.Blocks), sys.Disks[j].Service)
 				c.Utilization[j] = busy.Millis() / horizon.Millis()
 			}
 		}
