@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fuzz audit bench bench-smoke bench-serve bench-serve-smoke bench-diff check
+.PHONY: build test race lint vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 ## race: race-detector stress over the lock-free solver, its callers,
 ## the sharded serving layer, and the analysis framework's driver tests.
 race:
-	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/analysis/...
+	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/sim/... ./internal/fault/... ./internal/analysis/...
 
 ## lint: the repository's custom analyzers (microsfloat, satarith,
 ## atomicfield, lockguard, noalloc) plus a curated go vet set — see
@@ -34,7 +34,16 @@ fuzz:
 ## audit: re-run the solver tests with the imflow_audit build tag, arming
 ## the max-flow = min-cut certificate checks after every engine run.
 audit:
-	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/...
+	$(GO) test -tags imflow_audit ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/integration/...
+
+## fault-stress: the fault-injection stress gate — seeded chaos schedules
+## through the simulator and the concurrent server under the race
+## detector, then again with the audit tag so every degraded solve and
+## failover re-solve carries a max-flow certificate.
+fault-stress:
+	$(GO) test -race -count=3 ./internal/fault/
+	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe' ./internal/sim/ ./internal/serve/
+	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe' ./internal/sim/ ./internal/serve/ ./internal/integration/
 
 ## bench: regenerate BENCH_retrieval.json — the steady-state integrated
 ## solve loop (ns/op, allocs/op, work counters) across every engine on the
@@ -55,6 +64,15 @@ bench-serve:
 bench-serve-smoke:
 	$(GO) run ./cmd/imflow-serve-bench -smoke -out BENCH_serve.json
 
+## bench-fault: regenerate BENCH_fault.json — conserved-flow failover
+## repair latency vs a fresh masked re-solve at 1..2 failed disks, and
+## degraded serving throughput (qps, p99) at 0..2 failed disks.
+bench-fault:
+	$(GO) run ./cmd/imflow-serve-bench -fault -out BENCH_fault.json
+
+bench-fault-smoke:
+	$(GO) run ./cmd/imflow-serve-bench -fault -smoke -out BENCH_fault.json
+
 ## bench-diff: run fresh benchmarks into a scratch directory and compare
 ## them against the committed BENCH files. Fails on a >25% ns/op (or qps)
 ## regression or any allocs/op regression for the sequential engines.
@@ -63,8 +81,10 @@ bench-serve-smoke:
 bench-diff:
 	$(GO) run ./cmd/imflow-bench -out /tmp/imflow-bench-new/BENCH_retrieval.json
 	$(GO) run ./cmd/imflow-serve-bench -out /tmp/imflow-bench-new/BENCH_serve.json
+	$(GO) run ./cmd/imflow-serve-bench -fault -out /tmp/imflow-bench-new/BENCH_fault.json
 	$(GO) run ./cmd/imflow-bench-diff \
 		-old BENCH_retrieval.json -new /tmp/imflow-bench-new/BENCH_retrieval.json \
-		-old-serve BENCH_serve.json -new-serve /tmp/imflow-bench-new/BENCH_serve.json
+		-old-serve BENCH_serve.json -new-serve /tmp/imflow-bench-new/BENCH_serve.json \
+		-old-fault BENCH_fault.json -new-fault /tmp/imflow-bench-new/BENCH_fault.json
 
 check: build vet lint test audit race

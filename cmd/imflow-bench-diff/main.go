@@ -9,6 +9,7 @@
 //
 //	imflow-bench-diff -old BENCH_retrieval.json -new fresh.json
 //	imflow-bench-diff -old-serve BENCH_serve.json -new-serve fresh-serve.json
+//	imflow-bench-diff -old-fault BENCH_fault.json -new-fault fresh-fault.json
 //	imflow-bench-diff -allocs-only ...   # CI smoke: machine-independent gates only
 package main
 
@@ -26,6 +27,8 @@ func main() {
 	newRet := flag.String("new", "", "freshly generated BENCH_retrieval.json")
 	oldServe := flag.String("old-serve", "", "committed BENCH_serve.json baseline")
 	newServe := flag.String("new-serve", "", "freshly generated BENCH_serve.json")
+	oldFault := flag.String("old-fault", "", "committed BENCH_fault.json baseline")
+	newFault := flag.String("new-fault", "", "freshly generated BENCH_fault.json")
 	maxRatio := flag.Float64("max-ratio", 1.25, "tolerated timing regression ratio")
 	allocsOnly := flag.Bool("allocs-only", false,
 		"skip wall-clock gates (for CI, where the baseline's hardware differs)")
@@ -55,8 +58,18 @@ func main() {
 		violations = append(violations, bench.DiffServe(&oldS, &newS, opt)...)
 		checked++
 	}
+	if *newFault != "" {
+		if *oldFault == "" {
+			fatalf("-new-fault requires -old-fault")
+		}
+		var oldF, newF bench.FaultReport
+		readJSON(*oldFault, &oldF)
+		readJSON(*newFault, &newF)
+		violations = append(violations, bench.DiffFault(&oldF, &newF, opt)...)
+		checked++
+	}
 	if checked == 0 {
-		fatalf("nothing to diff: pass -old/-new and/or -old-serve/-new-serve")
+		fatalf("nothing to diff: pass -old/-new, -old-serve/-new-serve, and/or -old-fault/-new-fault")
 	}
 
 	for _, v := range violations {

@@ -4,11 +4,17 @@
 // saturation throughput run per worker count (queries/sec, p50/p95/p99
 // latency, worker-scaling curve), written as BENCH_serve.json.
 //
+// With -fault it runs the fault-injection suite instead: per cell, the
+// conserved-flow failover repair timed against a fresh masked re-solve at
+// 1..2 failed disks, and degraded serving throughput (queries/sec, p99)
+// at 0..2 failed disks, written as BENCH_fault.json.
+//
 // Usage:
 //
 //	imflow-serve-bench                          # paper-scale cells, writes BENCH_serve.json
 //	imflow-serve-bench -smoke                   # one tiny cell (CI benchmark smoke)
 //	imflow-serve-bench -n 20 -workers 1,2,4,8   # custom sweep
+//	imflow-serve-bench -fault                   # fault suite, writes BENCH_fault.json
 package main
 
 import (
@@ -33,7 +39,14 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "per-shard admission queue bound (default 64)")
 	batch := flag.Int("batch", 0, "max queries coalesced per worker wakeup (default 16)")
 	expNum := flag.Int("exp", 0, "Table IV experiment number (default 2)")
+	faultMode := flag.Bool("fault", false, "run the fault-injection suite instead (writes BENCH_fault.json)")
+	maxFailed := flag.Int("max-failed", 0, "fault suite: sweep 0..max-failed failed disks (default 2)")
 	flag.Parse()
+
+	if *faultMode {
+		runFaultSuite(*smoke, *out, *ns, *workers, *queries, *seed, *queueDepth, *batch, *expNum, *maxFailed)
+		return
+	}
 
 	var o bench.ServeOptions
 	if *smoke {
@@ -65,29 +78,87 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fatalf("%v", err)
-	}
-	blob = append(blob, '\n')
-	if *out == "-" {
-		os.Stdout.Write(blob)
-	} else {
-		if dir := filepath.Dir(*out); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fatalf("%v", err)
-			}
-		}
-		if err := os.WriteFile(*out, blob, 0o644); err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(report.Records))
-	}
+	writeReport(*out, report, len(report.Records))
 
 	for _, r := range report.Records {
 		fmt.Fprintf(os.Stderr, "%-28s %-7s workers=%d %9.0f q/s %8.0fus p50 %8.0fus p99 %6.2fx vs replay\n",
 			r.Cell, r.Mode, r.Workers, r.QPS, r.P50LatencyUs, r.P99LatencyUs, r.SpeedupVsReplay)
 	}
+}
+
+// runFaultSuite maps the shared flags onto the fault benchmark and writes
+// BENCH_fault.json (unless -out overrides the path).
+func runFaultSuite(smoke bool, out, ns, workers string, queries int, seed uint64, queueDepth, batch, expNum, maxFailed int) {
+	var o bench.FaultOptions
+	if smoke {
+		o = bench.SmokeFaultOptions()
+	}
+	if ns != "" {
+		o.Ns = parseInts(ns, "-n")
+	}
+	if workers != "" {
+		ws := parseInts(workers, "-workers")
+		o.Workers = ws[len(ws)-1] // the fault suite runs one worker count
+	}
+	if queries > 0 {
+		o.Queries = queries
+	}
+	if seed != 0 {
+		o.Seed = seed
+	}
+	if queueDepth > 0 {
+		o.QueueDepth = queueDepth
+	}
+	if batch > 0 {
+		o.Batch = batch
+	}
+	if expNum > 0 {
+		o.ExpNum = expNum
+	}
+	if maxFailed > 0 {
+		o.MaxFailed = maxFailed
+	}
+	if out == "BENCH_serve.json" {
+		out = "BENCH_fault.json"
+	}
+	report, err := bench.RunFault(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeReport(out, report, len(report.Records))
+
+	for _, r := range report.Records {
+		switch r.Mode {
+		case "failover":
+			fmt.Fprintf(os.Stderr, "%-28s failover       failed=%d %8.0f ns conserved %8.0f ns fresh %6.2fx speedup %8.0fus p99\n",
+				r.Cell, r.FailedDisks, r.ConservedNsPerOp, r.FreshNsPerOp, r.SpeedupVsFresh, r.FailoverP99Us)
+		case "serve-degraded":
+			fmt.Fprintf(os.Stderr, "%-28s serve-degraded failed=%d %9.0f q/s %8.0fus p99 %6.2fx vs healthy %6d dropped\n",
+				r.Cell, r.FailedDisks, r.QPS, r.P99LatencyUs, r.QPSvsHealthy, r.DroppedBuckets)
+		}
+	}
+}
+
+// writeReport marshals any report to path (or stdout for "-").
+func writeReport(out string, report any, records int) {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", out, records)
 }
 
 func parseInts(csv, flagName string) []int {

@@ -59,9 +59,27 @@ type (
 	Stats = retrieval.Stats
 	// Solver computes optimal response time schedules.
 	Solver = retrieval.Solver
+	// DiskMask is the set of failed disks of a system; masked solves route
+	// around it (see FailoverSolver).
+	DiskMask = retrieval.DiskMask
+	// FailoverSolver is a solver that handles disk failures: degraded
+	// (masked) solves with partial retrieval, and in-place MarkFailed
+	// failover that conserves all flow not routed through the failed disk.
+	FailoverSolver = retrieval.FailoverSolver
+	// InfeasibleError names the buckets a degraded solve had to drop
+	// because every replica was on a failed disk.
+	InfeasibleError = retrieval.InfeasibleError
 	// Micros is the integer-microsecond time unit used throughout.
 	Micros = cost.Micros
 )
+
+// ErrInfeasible is the sentinel every infeasibility error wraps; match
+// with errors.Is. Degraded solves that drop buckets return an
+// *InfeasibleError (which wraps it) alongside a valid partial schedule.
+var ErrInfeasible = retrieval.ErrInfeasible
+
+// NewDiskMask returns an all-healthy failure mask over numDisks disks.
+func NewDiskMask(numDisks int) *DiskMask { return retrieval.NewDiskMask(numDisks) }
 
 // FromMillis converts (possibly fractional) milliseconds to Micros.
 func FromMillis(ms float64) Micros { return cost.FromMillis(ms) }

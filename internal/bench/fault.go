@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/experiment"
+	"imflow/internal/maxflow"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+	"imflow/internal/serve"
+	"imflow/internal/sim"
+	"imflow/internal/stats"
+	"imflow/internal/storage"
+)
+
+// FaultOptions configures the fault-injection benchmark behind
+// cmd/imflow-serve-bench -fault.
+type FaultOptions struct {
+	Ns         []int  `json:"ns"`          // grid sizes to sweep (N x N per site)
+	Queries    int    `json:"queries"`     // problems / stream length per cell
+	Seed       uint64 `json:"seed"`        // workload seed
+	Workers    int    `json:"workers"`     // server worker count for degraded serving
+	QueueDepth int    `json:"queue_depth"` // per-shard admission queue bound
+	Batch      int    `json:"batch"`       // max queries coalesced per worker wakeup
+	MaxFailed  int    `json:"max_failed"`  // degraded sweep covers 0..MaxFailed failed disks
+	ExpNum     int    `json:"exp_num"`     // Table IV experiment (default 2)
+	MeanGapMs  int    `json:"mean_gap_ms"` // Poisson arrival mean gap (virtual clock)
+}
+
+// withDefaults fills zero fields with the paper-scale defaults.
+func (o FaultOptions) withDefaults() FaultOptions {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{20, 60}
+	}
+	if o.Queries <= 0 {
+		o.Queries = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.MaxFailed <= 0 {
+		o.MaxFailed = 2
+	}
+	if o.ExpNum == 0 {
+		o.ExpNum = 2
+	}
+	if o.MeanGapMs <= 0 {
+		o.MeanGapMs = 2
+	}
+	return o
+}
+
+// SmokeFaultOptions returns the small configuration the CI smoke job runs.
+func SmokeFaultOptions() FaultOptions {
+	return FaultOptions{Ns: []int{10}, Queries: 120, Workers: 2}.withDefaults()
+}
+
+// FaultRecord is one fault-injection measurement. Failover records time
+// the conserved-flow in-place repair (FailoverSolver.MarkFailed) against
+// a fresh masked re-solve of the same degraded problem; serve-degraded
+// records measure server throughput with 0..MaxFailed disks failed.
+type FaultRecord struct {
+	Cell        string `json:"cell"`
+	N           int    `json:"n"`
+	Mode        string `json:"mode"` // "failover" or "serve-degraded"
+	Solver      string `json:"solver"`
+	FailedDisks int    `json:"failed_disks"`
+	Queries     int    `json:"queries"`
+	Workers     int    `json:"workers,omitempty"`
+
+	// Failover records: per-incident latency of repairing FailedDisks
+	// sequential failures in place, the fresh masked re-solve of the same
+	// end state, and their ratio (the conserved-vs-fresh speedup).
+	ConservedNsPerOp float64 `json:"conserved_ns_per_op,omitempty"`
+	FreshNsPerOp     float64 `json:"fresh_ns_per_op,omitempty"`
+	SpeedupVsFresh   float64 `json:"speedup_vs_fresh,omitempty"`
+	FailoverP50Us    float64 `json:"failover_p50_us,omitempty"`
+	FailoverP99Us    float64 `json:"failover_p99_us,omitempty"`
+
+	// Serve-degraded records: saturation throughput and decision-latency
+	// percentiles with the failed disks masked, plus the degradation
+	// counters the server accumulated.
+	ElapsedNs    int64   `json:"elapsed_ns,omitempty"`
+	QPS          float64 `json:"queries_per_sec,omitempty"`
+	P50LatencyUs float64 `json:"p50_latency_us,omitempty"`
+	P99LatencyUs float64 `json:"p99_latency_us,omitempty"`
+	QPSvsHealthy float64 `json:"qps_vs_healthy,omitempty"`
+
+	DegradedQueries int64 `json:"degraded_queries"`
+	DroppedBuckets  int64 `json:"dropped_buckets"`
+}
+
+// FaultReport is the BENCH_fault.json document.
+type FaultReport struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Audit     bool          `json:"audit_build"`
+	Options   FaultOptions  `json:"options"`
+	Records   []FaultRecord `json:"records"`
+}
+
+// RunFault executes the fault-injection suite: per cell, failover
+// micro-measurements at 1..MaxFailed failed disks and degraded serving
+// throughput at 0..MaxFailed failed disks.
+func RunFault(o FaultOptions) (*FaultReport, error) {
+	o = o.withDefaults()
+	report := &FaultReport{
+		Schema:    "imflow/bench-fault/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Audit:     maxflow.AuditEnabled,
+		Options:   o,
+	}
+	for _, n := range o.Ns {
+		cfg := experiment.Config{
+			ExpNum:  o.ExpNum,
+			Alloc:   experiment.RDA,
+			Type:    query.Range,
+			Load:    query.Load2,
+			N:       n,
+			Queries: o.Queries,
+			Seed:    o.Seed + uint64(n)*1000003,
+		}
+		inst, err := cfg.Build()
+		if err != nil {
+			return nil, err
+		}
+		for k := 1; k <= o.MaxFailed; k++ {
+			rec, err := measureFailover(inst.System, inst.Problems, k)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: %d failed: %w", cfg, k, err)
+			}
+			rec.Cell, rec.N = cfg.String(), n
+			report.Records = append(report.Records, rec)
+		}
+
+		spec := sim.StreamSpec{
+			System:   inst.System,
+			Alloc:    inst.Alloc,
+			Type:     query.Range,
+			Load:     query.Load2,
+			Arrivals: sim.PoissonArrivals{Mean: cost.FromMillis(float64(o.MeanGapMs))},
+			Queries:  o.Queries,
+			Seed:     cfg.Seed,
+		}
+		stream, err := spec.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", cfg, err)
+		}
+		healthyQPS := 0.0
+		for k := 0; k <= o.MaxFailed; k++ {
+			rec, err := measureServeDegraded(inst.System, stream, k, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: %d failed: %w", cfg, k, err)
+			}
+			rec.Cell, rec.N = cfg.String(), n
+			if k == 0 {
+				healthyQPS = rec.QPS
+			}
+			if healthyQPS > 0 {
+				rec.QPSvsHealthy = rec.QPS / healthyQPS
+			}
+			report.Records = append(report.Records, rec)
+		}
+	}
+	return report, nil
+}
+
+// busiestLive returns the live disk carrying the most blocks of the
+// schedule, -1 when nothing is scheduled on a live disk.
+func busiestLive(counts []int64, mask *retrieval.DiskMask) int {
+	best, bestCount := -1, int64(0)
+	for j, c := range counts {
+		if c > bestCount && !mask.Failed(j) {
+			best, bestCount = j, c
+		}
+	}
+	return best
+}
+
+// measureFailover times, per problem, an incident of k sequential disk
+// failures (always the busiest live disk — the worst case for the amount
+// of flow to reroute) repaired in place by the conserved-flow failover,
+// against a fresh masked solve of the same degraded problem.
+func measureFailover(sys *storage.System, problems []*retrieval.Problem, k int) (FaultRecord, error) {
+	rec := FaultRecord{Mode: "failover", Solver: "pr-binary", FailedDisks: k, Queries: len(problems)}
+	conserved := retrieval.NewPRBinary()
+	freshSolver := retrieval.NewPRBinary()
+	mask := retrieval.NewDiskMask(sys.NumDisks())
+	var res, freshRes retrieval.Result
+	var conservedNs, freshNs int64
+	incidentUs := make([]float64, 0, len(problems))
+	for _, p := range problems {
+		mask.Reset(sys.NumDisks())
+		if err := conserved.SolveInto(p, &res); err != nil {
+			return rec, err
+		}
+		incidentStart := time.Now()
+		for f := 0; f < k; f++ {
+			d := busiestLive(res.Schedule.Counts, mask)
+			if d < 0 {
+				break // everything already stranded; nothing left to fail
+			}
+			mask.MarkFailed(d)
+			if err := conserved.MarkFailed(d, &res); err != nil {
+				var inf *retrieval.InfeasibleError
+				if !errors.As(err, &inf) {
+					return rec, err
+				}
+				rec.DroppedBuckets += int64(len(inf.Buckets))
+			}
+		}
+		incident := time.Since(incidentStart)
+		conservedNs += incident.Nanoseconds()
+		incidentUs = append(incidentUs, float64(incident.Microseconds()))
+
+		freshStart := time.Now()
+		if err := freshSolver.SolveMaskedInto(p, mask, &freshRes); err != nil {
+			var inf *retrieval.InfeasibleError
+			if !errors.As(err, &inf) {
+				return rec, err
+			}
+		}
+		freshNs += time.Since(freshStart).Nanoseconds()
+	}
+	ops := float64(len(problems))
+	rec.ConservedNsPerOp = float64(conservedNs) / ops
+	rec.FreshNsPerOp = float64(freshNs) / ops
+	if conservedNs > 0 {
+		rec.SpeedupVsFresh = float64(freshNs) / float64(conservedNs)
+	}
+	rec.FailoverP50Us = stats.Percentile(incidentUs, 50)
+	rec.FailoverP99Us = stats.Percentile(incidentUs, 99)
+	return rec, nil
+}
+
+// measureServeDegraded times one saturation pass of the concurrent server
+// with the first `failed` disks down before admission starts.
+func measureServeDegraded(sys *storage.System, stream []sim.Query, failed int, o FaultOptions) (FaultRecord, error) {
+	rec := FaultRecord{
+		Mode: "serve-degraded", Solver: "pr-binary",
+		FailedDisks: failed, Queries: len(stream), Workers: o.Workers,
+	}
+	qs := toServeStream(stream)
+	srv, err := serve.New(sys, len(qs), serve.Options{
+		Workers: o.Workers, QueueDepth: o.QueueDepth, Batch: o.Batch,
+	})
+	if err != nil {
+		return rec, err
+	}
+	for d := 0; d < failed; d++ {
+		if err := srv.FailDisk(d); err != nil {
+			return rec, err
+		}
+	}
+	start := time.Now()
+	srv.Start(context.Background())
+	for _, q := range qs {
+		if err := srv.Submit(context.Background(), q); err != nil {
+			return rec, err
+		}
+	}
+	results, err := srv.Wait()
+	elapsed := time.Since(start)
+	if err != nil {
+		return rec, err
+	}
+	latencies := make([]float64, len(results))
+	for i, r := range results {
+		latencies[i] = float64(r.Latency.Microseconds())
+	}
+	rec.ElapsedNs = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		rec.QPS = float64(rec.Queries) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		rec.P50LatencyUs = stats.Percentile(latencies, 50)
+		rec.P99LatencyUs = stats.Percentile(latencies, 99)
+	}
+	fs := srv.FaultStats()
+	rec.DegradedQueries = fs.DegradedQueries
+	rec.DroppedBuckets = fs.DroppedBuckets
+	return rec, nil
+}
+
+// DiffFault compares a fresh BENCH_fault.json against the committed
+// baseline. Records are matched on (cell, mode, failed disks, workers).
+// Machine-independent gates (always on): a degraded pass with failed
+// disks must count every query as degraded, and every failover incident
+// must have been measured. Timing gates (disabled by -allocs-only):
+// conserved repair latency and degraded throughput within MaxRatio of the
+// baseline.
+func DiffFault(old, fresh *FaultReport, o DiffOptions) []string {
+	o = o.withDefaults()
+	baseline := make(map[string]FaultRecord, len(old.Records))
+	key := func(r FaultRecord) string {
+		return fmt.Sprintf("%s|%s|%d|%d", r.Cell, r.Mode, r.FailedDisks, r.Workers)
+	}
+	for _, r := range old.Records {
+		baseline[key(r)] = r
+	}
+	var out []string
+	for _, r := range fresh.Records {
+		switch r.Mode {
+		case "failover":
+			if r.ConservedNsPerOp <= 0 || r.FreshNsPerOp <= 0 {
+				out = append(out, fmt.Sprintf("%s failover failed=%d: empty measurement", r.Cell, r.FailedDisks))
+			}
+		case "serve-degraded":
+			if r.FailedDisks > 0 && r.DegradedQueries != int64(r.Queries) {
+				out = append(out, fmt.Sprintf("%s serve-degraded failed=%d: %d/%d queries counted degraded",
+					r.Cell, r.FailedDisks, r.DegradedQueries, r.Queries))
+			}
+		}
+		base, ok := baseline[key(r)]
+		if !ok || !o.TimingChecks {
+			continue
+		}
+		if r.Mode == "failover" && r.ConservedNsPerOp > base.ConservedNsPerOp*o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s failover failed=%d: conserved repair %.0f ns/op, committed %.0f (> %.2fx)",
+				r.Cell, r.FailedDisks, r.ConservedNsPerOp, base.ConservedNsPerOp, o.MaxRatio))
+		}
+		if r.Mode == "serve-degraded" && r.QPS < base.QPS/o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s serve-degraded failed=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
+				r.Cell, r.FailedDisks, r.QPS, base.QPS, o.MaxRatio))
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -180,7 +181,7 @@ func RunServe(o ServeOptions) (*ServeReport, error) {
 		// Deterministic cross-check: the single-shard server must agree
 		// with the replay bit for bit before any throughput number is
 		// trusted.
-		det, err := serve.Serve(inst.System, toServeStream(stream), serve.Options{
+		det, err := serve.Serve(context.Background(), inst.System, toServeStream(stream), serve.Options{
 			Deterministic: true, QueueDepth: o.QueueDepth, Batch: o.Batch,
 		})
 		if err != nil {
@@ -267,9 +268,9 @@ func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeO
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	srv.Start()
+	srv.Start(context.Background())
 	for _, q := range qs {
-		if err := srv.Submit(q); err != nil {
+		if err := srv.Submit(context.Background(), q); err != nil {
 			return rec, err
 		}
 	}

@@ -1,0 +1,255 @@
+// Package fault is the deterministic failure injector: it turns per-disk
+// MTBF/MTTR parameters into a seeded chaos Schedule — a sorted stream of
+// fail / recover / slow-down / speed-up events over model time — and a
+// State cursor that replays the schedule against a retrieval.DiskMask and
+// per-disk slowdown factors. The same Schedule drives both the simulator
+// (sim) and the serving layer (serve), so a chaos scenario is one value
+// shared across every harness that exercises it.
+//
+// Everything is reproducible: the generator draws from xrand (splitmix64)
+// with one independent stream per disk, so a (Spec, Seed) pair yields a
+// bit-identical schedule on every run and platform, and replaying an empty
+// schedule is exactly the healthy system.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"imflow/internal/cost"
+	"imflow/internal/xrand"
+)
+
+// Kind is the event type of one chaos event.
+type Kind uint8
+
+const (
+	// Fail takes a disk down: its replicas become unreachable until the
+	// matching Recover.
+	Fail Kind = iota
+	// Recover brings a failed disk back.
+	Recover
+	// SlowStart begins a transient slowdown: the disk stays up but its
+	// service time C_j and delay D_j are inflated by Event.Factor until
+	// the matching SlowEnd.
+	SlowStart
+	// SlowEnd ends a transient slowdown.
+	SlowEnd
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Recover:
+		return "recover"
+	case SlowStart:
+		return "slow-start"
+	case SlowEnd:
+		return "slow-end"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+}
+
+// Event is one chaos event: at model instant At, disk Disk changes state.
+type Event struct {
+	At   cost.Micros
+	Disk int
+	Kind Kind
+	// Factor is the C_j/D_j inflation of a SlowStart (e.g. 4 quadruples
+	// both while the slowdown lasts); zero/ignored for the other kinds.
+	Factor int64
+}
+
+// Schedule is a chaos scenario: a stream of events over [0, horizon),
+// sorted by time, with fail/recover (and slow-start/slow-end) strictly
+// alternating per disk. Build one with Spec.Generate, or construct the
+// fields directly (bench and tests script exact scenarios that way) and
+// call Validate.
+type Schedule struct {
+	NumDisks int
+	Events   []Event
+}
+
+// Validate checks the schedule invariants State relies on: events sorted
+// by time, disks in range, per-disk alternation (a Recover only after a
+// Fail, one slowdown at a time), positive factors on SlowStart.
+func (s *Schedule) Validate() error {
+	down := make([]bool, s.NumDisks)
+	slow := make([]bool, s.NumDisks)
+	var prev cost.Micros
+	for i, e := range s.Events {
+		if e.At < prev {
+			return fmt.Errorf("fault: event %d at %v before predecessor at %v", i, e.At, prev)
+		}
+		prev = e.At
+		if e.Disk < 0 || e.Disk >= s.NumDisks {
+			return fmt.Errorf("fault: event %d: disk %d outside [0,%d)", i, e.Disk, s.NumDisks)
+		}
+		switch e.Kind {
+		case Fail:
+			if down[e.Disk] {
+				return fmt.Errorf("fault: event %d: disk %d fails while already down", i, e.Disk)
+			}
+			down[e.Disk] = true
+		case Recover:
+			if !down[e.Disk] {
+				return fmt.Errorf("fault: event %d: disk %d recovers while up", i, e.Disk)
+			}
+			down[e.Disk] = false
+		case SlowStart:
+			if slow[e.Disk] {
+				return fmt.Errorf("fault: event %d: disk %d slows while already slow", i, e.Disk)
+			}
+			if e.Factor < 2 {
+				return fmt.Errorf("fault: event %d: slow-start factor %d < 2", i, e.Factor)
+			}
+			slow[e.Disk] = true
+		case SlowEnd:
+			if !slow[e.Disk] {
+				return fmt.Errorf("fault: event %d: disk %d slow-end while not slow", i, e.Disk)
+			}
+			slow[e.Disk] = false
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Spec parameterizes schedule generation. Failures and slowdowns are
+// independent alternating renewal processes per disk with exponentially
+// distributed up and down times.
+type Spec struct {
+	NumDisks int
+	// Horizon bounds event generation to [0, Horizon).
+	Horizon cost.Micros
+	// Seed makes the schedule reproducible.
+	Seed uint64
+	// MTBF/MTTR are the mean time between failures and mean time to
+	// repair. MTBF == 0 disables failures.
+	MTBF, MTTR cost.Micros
+	// SlowMTBF/SlowMTTR are the same for transient slowdowns.
+	// SlowMTBF == 0 disables them.
+	SlowMTBF, SlowMTTR cost.Micros
+	// SlowFactor is the C_j/D_j inflation of a slowdown; <= 1 means 4.
+	SlowFactor int64
+	// MaxConcurrent bounds how many disks are down at once: a Fail that
+	// would exceed it is dropped (with its Recover). <= 0 means
+	// NumDisks-1 — chaos may take down everything but one disk, never
+	// the whole system. Pass NumDisks to allow total outage.
+	MaxConcurrent int
+}
+
+// Generate draws the chaos schedule for the spec.
+func (sp Spec) Generate() (*Schedule, error) {
+	if sp.NumDisks <= 0 {
+		return nil, fmt.Errorf("fault: spec needs disks (got %d)", sp.NumDisks)
+	}
+	if sp.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: spec needs a positive horizon (got %v)", sp.Horizon)
+	}
+	if sp.MTBF > 0 && sp.MTTR <= 0 {
+		return nil, fmt.Errorf("fault: MTBF without MTTR (failed disks would never recover; set MTTR >= Horizon for that)")
+	}
+	if sp.SlowMTBF > 0 && sp.SlowMTTR <= 0 {
+		return nil, fmt.Errorf("fault: SlowMTBF without SlowMTTR")
+	}
+	factor := sp.SlowFactor
+	if factor <= 1 {
+		factor = 4
+	}
+	maxDown := sp.MaxConcurrent
+	if maxDown <= 0 {
+		maxDown = sp.NumDisks - 1
+	}
+	if maxDown > sp.NumDisks {
+		maxDown = sp.NumDisks
+	}
+
+	s := &Schedule{NumDisks: sp.NumDisks}
+	base := xrand.New(sp.Seed)
+	for d := 0; d < sp.NumDisks; d++ {
+		failRng, slowRng := base.Fork(), base.Fork()
+		s.appendRenewal(failRng, d, sp.Horizon, sp.MTBF, sp.MTTR, Fail, Recover, 0)
+		s.appendRenewal(slowRng, d, sp.Horizon, sp.SlowMTBF, sp.SlowMTTR, SlowStart, SlowEnd, factor)
+	}
+	// Deterministic global order: time, then disk, then kind. Per-disk
+	// alternation survives any stable tie-break because each disk's own
+	// events were generated in order at distinct instants.
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Disk != b.Disk {
+			return a.Disk < b.Disk
+		}
+		return a.Kind < b.Kind
+	})
+	s.enforceBound(maxDown)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: generator bug: %w", err)
+	}
+	return s, nil
+}
+
+// appendRenewal draws one alternating up/down renewal process for disk d
+// and appends its events. meanUp == 0 disables the process.
+func (s *Schedule) appendRenewal(rng *xrand.Source, d int, horizon, meanUp, meanDown cost.Micros, start, end Kind, factor int64) {
+	if meanUp <= 0 {
+		return
+	}
+	t := expDraw(rng, meanUp)
+	for t < horizon {
+		s.Events = append(s.Events, Event{At: t, Disk: d, Kind: start, Factor: factor})
+		rec := cost.SatAdd(t, expDraw(rng, meanDown))
+		if rec >= horizon {
+			// Down past the horizon: the outage is permanent within
+			// this scenario.
+			return
+		}
+		s.Events = append(s.Events, Event{At: rec, Disk: d, Kind: end})
+		t = cost.SatAdd(rec, expDraw(rng, meanUp))
+	}
+}
+
+// expDraw samples an exponential with the given mean, clamped to >= 1µs
+// so renewal processes always advance. Go's math.Log is the portable
+// software implementation, so the draw is bit-reproducible across
+// platforms; FromMillis saturates out-of-range draws at cost.Max.
+func expDraw(rng *xrand.Source, mean cost.Micros) cost.Micros {
+	v := cost.FromMillis(-math.Log(1-rng.Float64()) * mean.Millis())
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// enforceBound drops Fail events (and their matching Recovers) that would
+// push the number of simultaneously-down disks past maxDown.
+func (s *Schedule) enforceBound(maxDown int) {
+	down := 0
+	suppressed := make([]bool, s.NumDisks)
+	kept := s.Events[:0]
+	for _, e := range s.Events {
+		switch e.Kind {
+		case Fail:
+			if down >= maxDown {
+				suppressed[e.Disk] = true
+				continue
+			}
+			down++
+		case Recover:
+			if suppressed[e.Disk] {
+				suppressed[e.Disk] = false
+				continue
+			}
+			down--
+		}
+		kept = append(kept, e)
+	}
+	s.Events = kept
+}

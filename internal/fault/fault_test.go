@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+func ms(v float64) cost.Micros { return cost.FromMillis(v) }
+
+func chaosSpec(seed uint64) Spec {
+	return Spec{
+		NumDisks: 8,
+		Horizon:  ms(10_000),
+		Seed:     seed,
+		MTBF:     ms(500),
+		MTTR:     ms(120),
+		SlowMTBF: ms(300),
+		SlowMTTR: ms(60),
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := chaosSpec(42).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosSpec(42).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec, different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatalf("chaos spec generated no events")
+	}
+	c, err := chaosSpec(43).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateInvariants replays generated schedules across many seeds and
+// checks the documented invariants: Validate passes (ordering +
+// alternation), the concurrent-failure bound holds at every instant, and
+// slow-starts carry the configured factor.
+func TestGenerateInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		sp := chaosSpec(seed)
+		sp.MaxConcurrent = 2
+		sp.SlowFactor = 7
+		s, err := sp.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		down := 0
+		for i, e := range s.Events {
+			switch e.Kind {
+			case Fail:
+				if down++; down > 2 {
+					t.Fatalf("seed %d: event %d: %d concurrent failures (bound 2)", seed, i, down)
+				}
+			case Recover:
+				down--
+			case SlowStart:
+				if e.Factor != 7 {
+					t.Fatalf("seed %d: event %d: factor %d, want 7", seed, i, e.Factor)
+				}
+			}
+			if e.At >= sp.Horizon {
+				t.Fatalf("seed %d: event %d at %v past horizon %v", seed, i, e.At, sp.Horizon)
+			}
+		}
+	}
+}
+
+// TestDefaultBoundSparesOneDisk: with MaxConcurrent unset, chaos never
+// takes the whole system down.
+func TestDefaultBoundSparesOneDisk(t *testing.T) {
+	sp := Spec{NumDisks: 2, Horizon: ms(50_000), Seed: 9, MTBF: ms(100), MTTR: ms(400)}
+	s, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := 0
+	for _, e := range s.Events {
+		switch e.Kind {
+		case Fail:
+			down++
+		case Recover:
+			down--
+		}
+		if down > 1 {
+			t.Fatalf("both disks down simultaneously under the default bound")
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{NumDisks: 0, Horizon: 1},
+		{NumDisks: 1, Horizon: 0},
+		{NumDisks: 1, Horizon: 1, MTBF: 5},     // MTTR missing
+		{NumDisks: 1, Horizon: 1, SlowMTBF: 5}, // SlowMTTR missing
+	}
+	for i, sp := range bad {
+		if _, err := sp.Generate(); err == nil {
+			t.Fatalf("spec %d: expected error", i)
+		}
+	}
+	// Failures disabled entirely is fine and yields the empty schedule.
+	s, err := Spec{NumDisks: 3, Horizon: ms(1000)}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 {
+		t.Fatalf("no processes enabled but got %d events", len(s.Events))
+	}
+}
+
+func TestScheduleValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"unsorted", Schedule{NumDisks: 2, Events: []Event{{At: 5, Disk: 0, Kind: Fail}, {At: 3, Disk: 1, Kind: Fail}}}},
+		{"disk range", Schedule{NumDisks: 1, Events: []Event{{At: 1, Disk: 1, Kind: Fail}}}},
+		{"double fail", Schedule{NumDisks: 1, Events: []Event{{At: 1, Disk: 0, Kind: Fail}, {At: 2, Disk: 0, Kind: Fail}}}},
+		{"recover while up", Schedule{NumDisks: 1, Events: []Event{{At: 1, Disk: 0, Kind: Recover}}}},
+		{"slow factor", Schedule{NumDisks: 1, Events: []Event{{At: 1, Disk: 0, Kind: SlowStart, Factor: 1}}}},
+		{"slow end while fast", Schedule{NumDisks: 1, Events: []Event{{At: 1, Disk: 0, Kind: SlowEnd}}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStateReplay(t *testing.T) {
+	s := &Schedule{NumDisks: 3, Events: []Event{
+		{At: 10, Disk: 1, Kind: Fail},
+		{At: 12, Disk: 0, Kind: SlowStart, Factor: 4},
+		{At: 20, Disk: 1, Kind: Recover},
+		{At: 25, Disk: 2, Kind: Fail},
+		{At: 30, Disk: 0, Kind: SlowEnd},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(s)
+	if got := st.Advance(9); len(got) != 0 {
+		t.Fatalf("advance(9) applied %d events", len(got))
+	}
+	if got := st.Advance(15); len(got) != 2 || st.Mask().FailedCount() != 1 || !st.Failed(1) || st.SlowFactor(0) != 4 {
+		t.Fatalf("advance(15): events=%d failed=%d slow0=%d", len(got), st.Mask().FailedCount(), st.SlowFactor(0))
+	}
+	// Slowdown inflates the problem in place; failed disks untouched.
+	p := &retrieval.Problem{Disks: []retrieval.DiskParams{
+		{Service: 100, Delay: 7}, {Service: 100}, {Service: 100},
+	}}
+	st.ApplyTo(p)
+	if p.Disks[0].Service != 400 || p.Disks[0].Delay != 28 || p.Disks[1].Service != 100 {
+		t.Fatalf("ApplyTo: %+v", p.Disks)
+	}
+	if got := st.Advance(100); len(got) != 3 {
+		t.Fatalf("advance(100) applied %d events", len(got))
+	}
+	if st.Failed(1) || !st.Failed(2) || st.SlowFactor(0) != 1 || !st.Done() {
+		t.Fatalf("final state: failed1=%v failed2=%v slow0=%d done=%v", st.Failed(1), st.Failed(2), st.SlowFactor(0), st.Done())
+	}
+	st.Reset()
+	if st.FailedCount() != 0 || st.Done() {
+		t.Fatalf("reset did not rewind")
+	}
+}
+
+// TestStateEmpty: the nil/empty schedule is the permanently healthy
+// system — nil mask, factor 1 everywhere, ApplyTo is the identity.
+func TestStateEmpty(t *testing.T) {
+	for _, st := range []*State{NewState(nil), NewState(&Schedule{NumDisks: 4})} {
+		if got := st.Advance(1 << 40); got != nil && len(got) != 0 {
+			t.Fatalf("empty schedule applied events")
+		}
+		if st.Failed(2) || st.FailedCount() != 0 || st.SlowFactor(2) != 1 || !st.Done() {
+			t.Fatalf("empty schedule not healthy")
+		}
+		p := &retrieval.Problem{Disks: []retrieval.DiskParams{{Service: 123, Delay: 9}}}
+		st.ApplyTo(p)
+		if p.Disks[0].Service != 123 || p.Disks[0].Delay != 9 {
+			t.Fatalf("ApplyTo mutated a healthy problem")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+// State is a replay cursor over a Schedule: Advance applies every event up
+// to a model instant, maintaining the live failure mask and per-disk
+// slowdown factors. A State built from a nil or empty schedule is the
+// permanently-healthy system — every accessor reports healthy and ApplyTo
+// is the identity, so fault-aware harnesses behave bit-identically to
+// their fault-free forms when no chaos is configured.
+//
+// State is not safe for concurrent use; the serving layer advances it
+// under its own lock.
+type State struct {
+	sched *Schedule
+	next  int // first unapplied event
+	mask  *retrieval.DiskMask
+	slow  []int64 // per-disk inflation factor; 1 = full speed
+}
+
+// NewState returns a cursor at instant 0 (no events applied). sched may
+// be nil for the healthy system.
+func NewState(sched *Schedule) *State {
+	st := &State{sched: sched}
+	if sched != nil {
+		st.mask = retrieval.NewDiskMask(sched.NumDisks)
+		st.slow = make([]int64, sched.NumDisks)
+		for j := range st.slow {
+			st.slow[j] = 1
+		}
+	}
+	return st
+}
+
+// Advance applies every event with At <= now and returns the slice of
+// events applied this call (aliasing the schedule; callers must not
+// mutate). Advancing is monotone: time never rewinds.
+func (st *State) Advance(now cost.Micros) []Event {
+	if st.sched == nil {
+		return nil
+	}
+	from := st.next
+	for st.next < len(st.sched.Events) && st.sched.Events[st.next].At <= now {
+		e := st.sched.Events[st.next]
+		st.next++
+		switch e.Kind {
+		case Fail:
+			st.mask.MarkFailed(e.Disk)
+		case Recover:
+			st.mask.Recover(e.Disk)
+		case SlowStart:
+			st.slow[e.Disk] = e.Factor
+		case SlowEnd:
+			st.slow[e.Disk] = 1
+		}
+	}
+	return st.sched.Events[from:st.next]
+}
+
+// Mask returns the live failure mask (nil when no schedule is configured
+// — retrieval treats a nil mask as all-healthy). The mask is owned by the
+// State; callers must not MarkFailed/Recover it.
+func (st *State) Mask() *retrieval.DiskMask { return st.mask }
+
+// Failed reports whether disk is currently down.
+func (st *State) Failed(disk int) bool { return st.mask.Failed(disk) }
+
+// FailedCount returns how many disks are currently down.
+func (st *State) FailedCount() int { return st.mask.FailedCount() }
+
+// SlowFactor returns disk's current C_j/D_j inflation (1 = full speed).
+func (st *State) SlowFactor(disk int) int64 {
+	if st.slow == nil || disk < 0 || disk >= len(st.slow) {
+		return 1
+	}
+	return st.slow[disk]
+}
+
+// ApplyTo inflates the problem's per-disk service times and delays by the
+// live slowdown factors, in place. Problems are rebuilt from the system
+// parameters per query (sim.ProblemAt, serve's rebuildProblem), so the
+// inflation never compounds across queries. Failed disks are left to the
+// mask — a degraded solve routes around them entirely.
+func (st *State) ApplyTo(p *retrieval.Problem) {
+	if st.slow == nil {
+		return
+	}
+	for j := range p.Disks {
+		f := st.SlowFactor(j)
+		if f <= 1 {
+			continue
+		}
+		p.Disks[j].Service = cost.SatMul(p.Disks[j].Service, cost.Micros(f))
+		p.Disks[j].Delay = cost.SatMul(p.Disks[j].Delay, cost.Micros(f))
+	}
+}
+
+// Done reports whether every event has been applied.
+func (st *State) Done() bool { return st.sched == nil || st.next >= len(st.sched.Events) }
+
+// Reset rewinds the cursor to instant 0.
+func (st *State) Reset() {
+	st.next = 0
+	if st.sched == nil {
+		return
+	}
+	st.mask.Reset(st.sched.NumDisks)
+	for j := range st.slow {
+		st.slow[j] = 1
+	}
+}

@@ -96,9 +96,10 @@ func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 // incremented (Algorithm 3). The flow found for earlier buckets is
 // conserved throughout — the DFS works on the same residual graph.
 type FFIncremental struct {
-	net network
-	ff  *maxflow.FordFulkerson
-	st  incrementState
+	net  network
+	ff   *maxflow.FordFulkerson
+	st   incrementState
+	mask DiskMask // scratch for MarkFailed's fresh-solve fallback
 }
 
 // NewFFIncremental returns the Algorithm 2 solver.
@@ -116,16 +117,22 @@ func (s *FFIncremental) Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// SolveInto implements ReusableSolver. The noalloc analyzer holds this
-// body to zero steady-state allocations.
+// SolveInto implements ReusableSolver.
+func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
+	return s.solveMasked(p, nil, res)
+}
+
+// solveMasked is the shared body of SolveInto (nil mask) and
+// SolveMaskedInto. The noalloc analyzer holds it to zero steady-state
+// allocations.
 //
 //imflow:noalloc
-func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
+func (s *FFIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	net := &s.net
-	net.rebuild(p)
+	net.rebuildMasked(p, mask)
 	g := net.g
 	if s.ff == nil {
 		s.ff = maxflow.NewFordFulkerson(g)
@@ -138,11 +145,14 @@ func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
 	res.Stats = Stats{Engine: ff.Name()}
 
 	for i := 0; i < net.q; i++ {
+		if net.deadMark[i] {
+			continue // every replica failed; the bucket is dropped
+		}
 		g.Push(net.srcArc[i], 1)
 		for ff.AugmentFromAvoiding(net.bucketVertex(i), net.t, net.s) == 0 {
 			if s.st.incrementMinCost(net) == cost.Max {
 				//lint:ignore noalloc cold failure exit; aborts the solve, never the steady state
-				return fmt.Errorf("retrieval: bucket %d unroutable with all disk edges saturated", i)
+				return fmt.Errorf("retrieval: bucket %d unroutable with all disk edges saturated: %w", i, ErrInfeasible)
 			}
 			res.Stats.Increments++
 		}
@@ -151,11 +161,7 @@ func (s *FFIncremental) SolveInto(p *Problem, res *Result) error {
 	}
 	maxflow.Audit(g, net.s, net.t)
 	res.Stats.Flow = *ff.Metrics()
-	if res.Schedule == nil {
-		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
-		res.Schedule = &Schedule{}
-	}
-	return net.extractScheduleInto(p, res.Schedule)
+	return net.finishDegraded(res)
 }
 
 // requireHomogeneous rejects problems whose disks differ in any parameter.

@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,16 +24,37 @@ func NewOracle() *Oracle { return &Oracle{} }
 func (*Oracle) Name() string { return "oracle" }
 
 // Solve implements Solver.
-func (*Oracle) Solve(p *Problem) (*Result, error) {
+func (o *Oracle) Solve(p *Problem) (*Result, error) {
+	return o.SolveMasked(p, nil)
+}
+
+// SolveMasked is Solve on the masked problem, the reference the failover
+// cross-check tests compare the integrated solvers against. Like
+// FailoverSolver.SolveMaskedInto it returns a valid partial schedule plus
+// an *InfeasibleError when buckets lost every replica.
+func (*Oracle) SolveMasked(p *Problem, mask *DiskMask) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	net := buildNetwork(p)
+	net := &network{}
+	net.rebuildMasked(p, mask)
 	engine := maxflow.NewEdmondsKarp(net.g)
 	res := &Result{Stats: Stats{Engine: engine.Name()}}
-	target := int64(net.q)
-	cands := net.candidateTimes()
+	target := net.target()
 
+	if target == 0 {
+		// Every bucket lost all replicas; there is nothing to search.
+		if err := net.finishDegraded(res); err != nil {
+			var inf *InfeasibleError
+			if errors.As(err, &inf) {
+				return res, err
+			}
+			return nil, err
+		}
+		return res, nil
+	}
+
+	cands := net.candidateTimes()
 	feasible := func(i int) bool {
 		net.capsForTime(cands[i])
 		net.g.ZeroFlows()
@@ -45,7 +67,7 @@ func (*Oracle) Solve(p *Problem) (*Result, error) {
 	// feasibility is monotone in t because capacities are.
 	idx := sort.Search(len(cands), feasible)
 	if idx == len(cands) {
-		return nil, fmt.Errorf("retrieval: no feasible candidate time (malformed problem?)")
+		return nil, fmt.Errorf("retrieval: no feasible candidate time (malformed problem?): %w", ErrInfeasible)
 	}
 	// Re-establish the optimal flow state (the last probe may have been an
 	// infeasible candidate).
@@ -56,16 +78,18 @@ func (*Oracle) Solve(p *Problem) (*Result, error) {
 	}
 	maxflow.Audit(net.g, net.s, net.t)
 	res.Stats.Flow = *engine.Metrics()
-	sched, err := net.extractSchedule(p)
+	err := net.finishDegraded(res)
 	if err != nil {
-		return nil, err
+		var inf *InfeasibleError
+		if !errors.As(err, &inf) {
+			return nil, err
+		}
 	}
-	if sched.ResponseTime != cands[idx] {
+	if res.Schedule.ResponseTime != cands[idx] {
 		return nil, fmt.Errorf("retrieval: oracle schedule makespan %v != optimal candidate %v",
-			sched.ResponseTime, cands[idx])
+			res.Schedule.ResponseTime, cands[idx])
 	}
-	res.Schedule = sched
-	return res, nil
+	return res, err
 }
 
 // Solvers returns every generalized-problem solver in the repository,

@@ -50,6 +50,7 @@ type PRIncremental struct {
 	net     network
 	engine  maxflow.Engine
 	st      incrementState
+	mask    DiskMask // scratch for MarkFailed's fresh-solve fallback
 }
 
 // NewPRIncremental returns the Algorithm 5 solver with the sequential
@@ -70,16 +71,22 @@ func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// SolveInto implements ReusableSolver. The noalloc analyzer holds this
-// body to zero steady-state allocations.
+// SolveInto implements ReusableSolver.
+func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
+	return s.solveMasked(p, nil, res)
+}
+
+// solveMasked is the shared body of SolveInto (nil mask) and
+// SolveMaskedInto. The noalloc analyzer holds it to zero steady-state
+// allocations.
 //
 //imflow:noalloc
-func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
+func (s *PRIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	net := &s.net
-	net.rebuild(p)
+	net.rebuildMasked(p, mask)
 	if s.engine == nil {
 		s.engine = s.factory(net.g)
 	} else {
@@ -89,12 +96,12 @@ func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
 	*engine.Metrics() = maxflow.Metrics{}
 	s.st.reset(net)
 	res.Stats = Stats{Engine: engine.Name()}
-	target := int64(net.q)
+	target := net.target()
 	var flow int64
 	for flow < target {
 		if s.st.incrementMinCost(net) == cost.Max {
 			//lint:ignore noalloc cold failure exit; aborts the solve, never the steady state
-			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated: %w", flow, target, ErrInfeasible)
 		}
 		res.Stats.Increments++
 		flow = engine.Run(net.s, net.t)
@@ -102,11 +109,7 @@ func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
 		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
-	if res.Schedule == nil {
-		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
-		res.Schedule = &Schedule{}
-	}
-	return net.extractScheduleInto(p, res.Schedule)
+	return net.finishDegraded(res)
 }
 
 // PRBinary is Algorithm 6: the integrated push-relabel solver with binary
@@ -128,6 +131,7 @@ type PRBinary struct {
 	engine   maxflow.Engine
 	st       incrementState
 	saved    []int64
+	mask     DiskMask // scratch for MarkFailed's fresh-solve fallback
 }
 
 // NewPRBinary returns the integrated Algorithm 6 solver (sequential
@@ -181,16 +185,22 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-// SolveInto implements ReusableSolver. The noalloc analyzer holds this
-// body to zero steady-state allocations.
+// SolveInto implements ReusableSolver.
+func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
+	return s.solveMasked(p, nil, res)
+}
+
+// solveMasked is the shared body of SolveInto (nil mask) and
+// SolveMaskedInto. The noalloc analyzer holds it to zero steady-state
+// allocations.
 //
 //imflow:noalloc
-func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
+func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	net := &s.net
-	net.rebuild(p)
+	net.rebuildMasked(p, mask)
 	if s.engine == nil {
 		s.engine = s.factory(net.g)
 	} else {
@@ -199,7 +209,7 @@ func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
 	engine := s.engine
 	*engine.Metrics() = maxflow.Metrics{}
 	res.Stats = Stats{Engine: engine.Name()}
-	target := int64(net.q)
+	target := net.target()
 
 	// Bracket the optimum: tmax assumes every bucket is retrieved from the
 	// disk with the largest retrieval cost (all capacities reach |Q|, so
@@ -213,7 +223,10 @@ func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
 	tmin := cost.Max
 	var tmax cost.Micros
 	nTotal := cost.Micros(len(p.Disks))
-	for _, dp := range net.params {
+	for k, dp := range net.params {
+		if net.maskedSlot[k] {
+			continue // failed disks do not bound the bracket
+		}
 		if up := dp.Finish(target); up > tmax {
 			tmax = up
 		}
@@ -286,7 +299,7 @@ func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
 	for flow < target {
 		if s.st.incrementMinCost(net) == cost.Max {
 			//lint:ignore noalloc cold failure exit; aborts the solve, never the steady state
-			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated", flow, target)
+			return fmt.Errorf("retrieval: flow %d short of %d with all disk edges saturated: %w", flow, target, ErrInfeasible)
 		}
 		res.Stats.Increments++
 		if !s.conserve {
@@ -297,18 +310,17 @@ func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
 		maxflow.Audit(net.g, net.s, net.t)
 	}
 	res.Stats.Flow = *engine.Metrics()
-	if res.Schedule == nil {
-		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
-		res.Schedule = &Schedule{}
-	}
-	return net.extractScheduleInto(p, res.Schedule)
+	return net.finishDegraded(res)
 }
 
 // minSingleBlock returns the fastest possible single-block completion time
-// over the participating disks.
+// over the live participating disks.
 func minSingleBlock(net *network) cost.Micros {
 	best := cost.Max
-	for _, dp := range net.params {
+	for k, dp := range net.params {
+		if net.maskedSlot[k] {
+			continue
+		}
 		if f := dp.Finish(1); f < best {
 			best = f
 		}

@@ -95,6 +95,8 @@ func (p *Problem) Validate() error {
 // Schedule is a retrieval decision: which replica serves each bucket.
 type Schedule struct {
 	// Assignment[i] is the global disk ID serving bucket i of the query.
+	// Degraded (masked) solves record -1 for buckets whose every replica
+	// is on a failed disk; see FailoverSolver and InfeasibleError.
 	Assignment []int
 	// Counts[j] is the number of buckets assigned to global disk j.
 	Counts []int64
@@ -104,9 +106,13 @@ type Schedule struct {
 }
 
 // Makespan recomputes the response time of an assignment from scratch.
+// Buckets marked -1 (dropped by a degraded solve) contribute nothing.
 func (p *Problem) Makespan(assignment []int) cost.Micros {
 	counts := make([]int64, len(p.Disks))
 	for _, d := range assignment {
+		if d < 0 {
+			continue
+		}
 		counts[d]++
 	}
 	var worst cost.Micros
@@ -130,6 +136,56 @@ func (p *Problem) ValidateSchedule(s *Schedule) error {
 	}
 	counts := make([]int64, len(p.Disks))
 	for i, d := range s.Assignment {
+		ok := false
+		for _, r := range p.Replicas[i] {
+			if r == d {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("retrieval: bucket %d assigned to non-replica disk %d", i, d)
+		}
+		counts[d]++
+	}
+	for j := range counts {
+		if counts[j] != s.Counts[j] {
+			return fmt.Errorf("retrieval: disk %d count %d, schedule says %d", j, counts[j], s.Counts[j])
+		}
+	}
+	if got := p.Makespan(s.Assignment); got != s.ResponseTime {
+		return fmt.Errorf("retrieval: recorded response time %v, recomputed %v", s.ResponseTime, got)
+	}
+	return nil
+}
+
+// ValidatePartialSchedule checks a degraded schedule: every bucket in dead
+// (ascending global bucket indices) must be unassigned (-1), every other
+// bucket must be assigned to one of its replicas, the per-disk counts must
+// match, and the recorded response time must equal the makespan of the
+// retrieved buckets.
+func (p *Problem) ValidatePartialSchedule(s *Schedule, dead []int) error {
+	if len(s.Assignment) != len(p.Replicas) {
+		return fmt.Errorf("retrieval: schedule covers %d of %d buckets", len(s.Assignment), len(p.Replicas))
+	}
+	isDead := make(map[int]bool, len(dead))
+	for _, i := range dead {
+		if i < 0 || i >= len(p.Replicas) {
+			return fmt.Errorf("retrieval: dead bucket %d outside the query", i)
+		}
+		isDead[i] = true
+	}
+	counts := make([]int64, len(p.Disks))
+	for i, d := range s.Assignment {
+		if isDead[i] {
+			if d != -1 {
+				return fmt.Errorf("retrieval: dead bucket %d assigned to disk %d", i, d)
+			}
+			continue
+		}
+		if d < 0 {
+			return fmt.Errorf("retrieval: live bucket %d left unassigned", i)
+		}
 		ok := false
 		for _, r := range p.Replicas[i] {
 			if r == d {
@@ -204,6 +260,16 @@ type network struct {
 	caps    []int64      // current disk->sink capacities (mirror of the graph)
 	srcArc  []int        // arc source->bucket per bucket
 	vtxSlot []int32      // scratch: slot+1 per global disk ID, 0 = not seen
+
+	// Degraded-mode state (see failover.go). A masked slot's sink capacity
+	// is pinned at zero and the slot is excluded from capsForTime,
+	// incrementMinCost, candidate enumeration, and the binary bracket; a
+	// dead bucket (every replica masked) has its source arc capacity zeroed
+	// so the flow target shrinks to the live buckets.
+	maskedSlot []bool   // maskedSlot[k]: participating disk k is failed
+	deadMark   []bool   // deadMark[i]: bucket i has every replica failed
+	dead       []int    // dead buckets, ascending
+	prob       *Problem // problem of the last rebuild (used by MarkFailed)
 }
 
 // grow returns s resized to n elements, reallocating only when the backing
@@ -229,6 +295,15 @@ func buildNetwork(p *Problem) *network {
 // on a given problem shape, rebuild performs no allocations. The graph
 // comes back with zero flow everywhere and zero disk->sink capacities.
 func (net *network) rebuild(p *Problem) {
+	net.rebuildMasked(p, nil)
+}
+
+// rebuildMasked is rebuild under a disk mask: failed disks still occupy a
+// network slot (so arc indices match the unmasked build) but are marked
+// masked, and buckets whose every replica is failed get a zero-capacity
+// source arc so they drop out of the flow target. A nil mask builds the
+// ordinary healthy network.
+func (net *network) rebuildMasked(p *Problem, mask *DiskMask) {
 	q := len(p.Replicas)
 	// First pass: discover participating disks. Global disk IDs are dense
 	// (indices into p.Disks), so a slice stands in for the map.
@@ -262,13 +337,30 @@ func (net *network) rebuild(p *Problem) {
 	net.diskArc = grow(net.diskArc, nd)
 	net.caps = grow(net.caps, nd)
 	net.srcArc = grow(net.srcArc, q)
+	net.maskedSlot = grow(net.maskedSlot, nd)
+	net.deadMark = grow(net.deadMark, q)
+	net.dead = grow(net.dead, q)[:0]
 	for k, d := range diskIDs {
 		net.diskVtx[k] = q + 1 + k
 		net.params[k] = p.Disks[d]
 		net.inDeg[k] = 0
+		net.maskedSlot[k] = mask.Failed(d)
 	}
 	for i, reps := range p.Replicas {
-		net.srcArc[i] = g.AddEdge(net.s, 1+i, 1)
+		alive := false
+		for _, d := range reps {
+			if !mask.Failed(d) {
+				alive = true
+				break
+			}
+		}
+		net.deadMark[i] = !alive
+		srcCap := int64(1)
+		if !alive {
+			net.dead = append(net.dead, i)
+			srcCap = 0
+		}
+		net.srcArc[i] = g.AddEdge(net.s, 1+i, srcCap)
 		for _, d := range reps {
 			k := int(net.vtxSlot[d]) - 1
 			g.AddEdge(1+i, net.diskVtx[k], 1)
@@ -279,7 +371,12 @@ func (net *network) rebuild(p *Problem) {
 		net.diskArc[k] = g.AddEdge(net.diskVtx[k], net.t, 0)
 		net.caps[k] = 0
 	}
+	net.prob = p
 }
+
+// target returns the flow value a feasible degraded solve must reach: the
+// number of buckets with at least one live replica.
+func (net *network) target() int64 { return int64(net.q - len(net.dead)) }
 
 // setCap updates participating disk k's sink-arc capacity.
 func (net *network) setCap(k int, c int64) {
@@ -289,9 +386,14 @@ func (net *network) setCap(k int, c int64) {
 
 // capsForTime sets every disk->sink capacity to the number of blocks the
 // disk can complete by time t (clamped to its replica count, which never
-// changes feasibility but keeps the numbers small).
+// changes feasibility but keeps the numbers small). Masked disks stay at
+// zero: a failed disk can complete nothing by any time.
 func (net *network) capsForTime(t cost.Micros) {
 	for k, dp := range net.params {
+		if net.maskedSlot[k] {
+			net.setCap(k, 0)
+			continue
+		}
 		net.setCap(k, cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, t, net.inDeg[k]))
 	}
 }
@@ -321,6 +423,10 @@ func (net *network) extractScheduleInto(p *Problem, s *Schedule) error {
 		s.Counts[j] = 0
 	}
 	for i := 0; i < net.q; i++ {
+		if net.deadMark[i] {
+			s.Assignment[i] = -1 // every replica failed; dropped by this solve
+			continue
+		}
 		v := net.bucketVertex(i)
 		assigned := -1
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
@@ -368,12 +474,17 @@ func newIncrementState(net *network) *incrementState {
 	return st
 }
 
-// reset refills the live edge set with every participating disk, reusing
-// the backing array across solves.
+// reset refills the live edge set with every participating disk that is
+// not masked, reusing the backing array across solves. A masked disk must
+// never enter E: incrementMinCost would raise its capacity and route flow
+// through a failed disk.
 func (st *incrementState) reset(net *network) {
-	st.active = grow(st.active, len(net.diskIDs))
-	for k := range st.active {
-		st.active[k] = k
+	st.active = grow(st.active, len(net.diskIDs))[:0]
+	for k := range net.diskIDs {
+		if net.maskedSlot[k] {
+			continue
+		}
+		st.active = append(st.active, k)
 	}
 }
 
@@ -407,10 +518,14 @@ func (st *incrementState) incrementMinCost(net *network) cost.Micros {
 
 // candidateTimes enumerates every possible query completion time
 // D_j + X_j + k*C_j (k up to the disk's replica count) in increasing
-// order. The optimal response time is always one of these.
+// order, skipping masked disks. The optimal response time is always one
+// of these.
 func (net *network) candidateTimes() []cost.Micros {
 	var out []cost.Micros
 	for k, dp := range net.params {
+		if net.maskedSlot[k] {
+			continue
+		}
 		lim := net.inDeg[k]
 		if lim > int64(net.q) {
 			lim = int64(net.q)

@@ -28,6 +28,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,9 +37,15 @@ import (
 	"time"
 
 	"imflow/internal/cost"
+	"imflow/internal/fault"
 	"imflow/internal/retrieval"
 	"imflow/internal/storage"
 )
+
+// ErrDeadlineExceeded is the admission rejection: the query's Deadline
+// elapsed before it could be enqueued (returned by Submit, wrapped) or
+// before a worker picked it up (reported via Result.Rejected).
+var ErrDeadlineExceeded = errors.New("serve: admission deadline exceeded")
 
 // Query is one admission request: a dense sequence number (its slot in the
 // results array), the virtual arrival instant (the deterministic-mode
@@ -46,6 +54,11 @@ type Query struct {
 	Seq      int
 	Arrival  cost.Micros
 	Replicas [][]int
+	// Deadline, when positive, bounds the wall time from Submit to being
+	// served: Submit fails with ErrDeadlineExceeded instead of blocking
+	// past it on a full queue, and a worker that dequeues the query too
+	// late rejects it (Result.Rejected) instead of serving it.
+	Deadline time.Duration
 
 	submitted time.Time // stamped by Submit for the wall-clock latency
 }
@@ -68,6 +81,18 @@ type Result struct {
 	// Latency is the wall-clock time from Submit to the decision being
 	// applied: queueing plus batching plus the solve itself.
 	Latency time.Duration
+	// Rejected marks a query that was never served: its deadline passed
+	// in the queue, or every bounded retry after mid-solve failures was
+	// exhausted. Response fields are zero.
+	Rejected bool
+	// Dropped counts buckets this query could not retrieve because every
+	// replica was on a failed disk (partial retrieval). The full dead
+	// set is observable through OnSchedule: dropped buckets have
+	// Assignment -1.
+	Dropped int
+	// Failovers counts in-place MarkFailed repairs performed for this
+	// query after a disk failed between the solve and the write-back.
+	Failovers int
 }
 
 // Options configure a Server.
@@ -94,8 +119,34 @@ type Options struct {
 	// OnSchedule, when non-nil, is invoked synchronously by the serving
 	// worker after every assignment, before the problem/schedule buffers
 	// are reused. Implementations must copy anything they keep and must
-	// tolerate concurrent calls from different workers.
+	// tolerate concurrent calls from different workers. On degraded
+	// (fault-injected) runs the schedule may be partial: dropped buckets
+	// have Assignment -1, which is how per-bucket graceful-degradation
+	// metrics are observed before the buffers are recycled.
 	OnSchedule func(worker int, q *Query, p *retrieval.Problem, s *retrieval.Schedule)
+	// Fault installs a chaos schedule (fault.Spec.Generate or a scripted
+	// fault.Schedule) replayed against the serving clock: model
+	// microseconds since Start in the online mode, query arrivals in
+	// deterministic mode. Requires the workers' solvers to be
+	// retrieval.FailoverSolvers (the default PRBinary is). An empty
+	// schedule leaves every result bit-identical to a fault-free run.
+	Fault *fault.Schedule
+	// MaxRetries bounds how many times a query bounced by a mid-solve
+	// disk failure is repaired before it is rejected. <= 0 means 3.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff (with jitter)
+	// between bounce repairs. <= 0 means 50µs.
+	RetryBackoff time.Duration
+}
+
+// FaultStats are the serving layer's graceful-degradation counters,
+// snapshotted by Server.FaultStats.
+type FaultStats struct {
+	DegradedQueries int64 // queries served while at least one disk was failed
+	DroppedBuckets  int64 // buckets lost to all-replicas-down (partial retrievals)
+	Failovers       int64 // in-place MarkFailed repairs after mid-solve failures
+	Retries         int64 // bounce-repair rounds (each backs off before repairing)
+	Rejected        int64 // queries rejected: deadline passed or retries exhausted
 }
 
 // withDefaults normalizes the options.
@@ -117,6 +168,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.NewSolver == nil {
 		o.NewSolver = func() retrieval.ReusableSolver { return retrieval.NewPRBinary() }
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Microsecond
 	}
 	return o, nil
 }
@@ -148,12 +205,110 @@ type Server struct {
 	next    atomic.Uint64 // round-robin shard cursor
 	started bool
 	waited  bool
+	stop    chan struct{} // closed by Wait; releases the cancel watcher
 
 	failed  atomic.Bool
 	errOnce sync.Once
 	// err is the first worker error; guarded by errOnce (written only
 	// inside errOnce.Do, read only after wg.Wait).
 	err error
+
+	// Fault-injection state. Workers serve against per-batch snapshots
+	// and use faultEpoch (bumped on every applied event or manual
+	// injection) to detect mid-solve changes without taking the lock.
+	//
+	// fstate is the chaos replay cursor; guarded by mu.
+	fstate *fault.State
+	// health is the live failure mask; guarded by mu.
+	health *retrieval.DiskMask
+	// slow is the live per-disk C_j/D_j inflation; guarded by mu.
+	slow       []int64
+	faultOn    atomic.Bool // any chaos schedule or manual injection so far
+	faultEpoch atomic.Uint64
+	faultable  bool // every worker's solver is a FailoverSolver
+
+	// Graceful-degradation counters (see FaultStats).
+	nDegraded  atomic.Int64
+	nDropped   atomic.Int64
+	nFailovers atomic.Int64
+	nRetries   atomic.Int64
+	nRejected  atomic.Int64
+
+	// afterSolve, when non-nil, runs between a fault-mode solve and its
+	// mid-solve-failure check; in-package tests use it to inject a
+	// failure in exactly that window.
+	afterSolve func(w *worker, q *Query)
+}
+
+// FaultStats snapshots the graceful-degradation counters.
+func (s *Server) FaultStats() FaultStats {
+	return FaultStats{
+		DegradedQueries: s.nDegraded.Load(),
+		DroppedBuckets:  s.nDropped.Load(),
+		Failovers:       s.nFailovers.Load(),
+		Retries:         s.nRetries.Load(),
+		Rejected:        s.nRejected.Load(),
+	}
+}
+
+// FailDisk manually injects a disk failure, as a chaos schedule's Fail
+// event would. Safe to call concurrently with serving; queries already
+// solved onto the disk are repaired in place (bounded retries) before
+// their write-back.
+func (s *Server) FailDisk(disk int) error {
+	if !s.faultable {
+		return fmt.Errorf("serve: FailDisk needs failover-capable solvers (Options.NewSolver must build retrieval.FailoverSolvers)")
+	}
+	if disk < 0 || disk >= s.sys.NumDisks() {
+		return fmt.Errorf("serve: disk %d outside [0,%d)", disk, s.sys.NumDisks())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.health.MarkFailed(disk) {
+		s.faultOn.Store(true)
+		s.faultEpoch.Add(1)
+	}
+	return nil
+}
+
+// RecoverDisk manually recovers a disk failed by FailDisk (or by the
+// chaos schedule).
+func (s *Server) RecoverDisk(disk int) error {
+	if disk < 0 || disk >= s.sys.NumDisks() {
+		return fmt.Errorf("serve: disk %d outside [0,%d)", disk, s.sys.NumDisks())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.health.Recover(disk) {
+		s.faultEpoch.Add(1)
+	}
+	return nil
+}
+
+// advanceFault replays chaos events up to the model instant now onto the
+// live health mask and slowdown factors. Callers must hold mu.
+//
+//imflow:locked(mu)
+func (s *Server) advanceFault(now cost.Micros) {
+	if s.fstate == nil {
+		return
+	}
+	events := s.fstate.Advance(now)
+	for _, e := range events {
+		switch e.Kind {
+		case fault.Fail:
+			s.health.MarkFailed(e.Disk)
+		case fault.Recover:
+			s.health.Recover(e.Disk)
+		case fault.SlowStart:
+			s.slow[e.Disk] = e.Factor
+		case fault.SlowEnd:
+			s.slow[e.Disk] = 1
+		}
+	}
+	if len(events) > 0 {
+		s.faultEpoch.Add(uint64(len(events)))
+	}
 }
 
 // New returns a server over sys sized for total queries (the dense Seq
@@ -169,19 +324,47 @@ func New(sys *storage.System, total int, opt Options) (*Server, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("serve: non-positive query capacity %d", total)
 	}
+	slow := make([]int64, sys.NumDisks())
+	for j := range slow {
+		slow[j] = 1
+	}
+	var fstate *fault.State
+	if opt.Fault != nil {
+		if opt.Fault.NumDisks != sys.NumDisks() {
+			return nil, fmt.Errorf("serve: fault schedule covers %d disks, system has %d", opt.Fault.NumDisks, sys.NumDisks())
+		}
+		if err := opt.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		fstate = fault.NewState(opt.Fault)
+	}
 	s := &Server{
 		sys:       sys,
 		opt:       opt,
 		busyUntil: make([]cost.Micros, sys.NumDisks()),
 		results:   make([]Result, total),
 		queues:    make([]chan Query, opt.Workers),
+		health:    retrieval.NewDiskMask(sys.NumDisks()),
+		slow:      slow,
+		fstate:    fstate,
+		stop:      make(chan struct{}),
+	}
+	if fstate != nil {
+		s.faultOn.Store(true)
 	}
 	for i := range s.queues {
 		s.queues[i] = make(chan Query, opt.QueueDepth)
 	}
 	s.workers = make([]*worker, opt.Workers)
+	s.faultable = true
 	for i := range s.workers {
 		s.workers[i] = s.newWorker(i)
+		if s.workers[i].fsolver == nil {
+			s.faultable = false
+		}
+	}
+	if opt.Fault != nil && !s.faultable {
+		return nil, fmt.Errorf("serve: fault injection needs failover-capable solvers (Options.NewSolver must build retrieval.FailoverSolvers)")
 	}
 	return s, nil
 }
@@ -189,13 +372,28 @@ func New(sys *storage.System, total int, opt Options) (*Server, error) {
 // Workers returns the shard count.
 func (s *Server) Workers() int { return s.opt.Workers }
 
-// Start launches the shard workers. It must be called exactly once.
-func (s *Server) Start() {
+// Start launches the shard workers. It must be called exactly once. When
+// ctx is cancellable, cancellation drains the server exactly like a
+// worker failure: queued queries are released unserved, blocked
+// submitters are unblocked, and Wait reports the cancellation cause.
+func (s *Server) Start(ctx context.Context) {
 	if s.started {
 		panic("serve: Start called twice")
 	}
 	s.started = true
 	s.start = time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.fail(fmt.Errorf("serve: cancelled: %w", context.Cause(ctx)))
+			case <-s.stop:
+			}
+		}()
+	}
 	for i, w := range s.workers {
 		s.wg.Add(1)
 		go func(w *worker, q chan Query) {
@@ -211,16 +409,19 @@ func (s *Server) now() cost.Micros {
 }
 
 // Submit admits one query, routing it round-robin across the shards. It
-// blocks while the target shard's queue is full and returns an error only
-// for misuse (server not started, Seq outside the results range).
-func (s *Server) Submit(q Query) error {
+// blocks while the target shard's queue is full — bounded by ctx
+// cancellation and the query's Deadline — and returns an error for misuse
+// (server not started, Seq outside the results range), cancellation, or a
+// missed deadline.
+func (s *Server) Submit(ctx context.Context, q Query) error {
 	shard := int(s.next.Add(1)-1) % len(s.queues)
-	return s.SubmitTo(shard, q)
+	return s.SubmitTo(ctx, shard, q)
 }
 
 // SubmitTo admits one query to a specific shard; tests use it to pin the
-// shard-to-query mapping. It blocks while that shard's queue is full.
-func (s *Server) SubmitTo(shard int, q Query) error {
+// shard-to-query mapping. It blocks while that shard's queue is full,
+// subject to the same ctx/deadline bounds as Submit.
+func (s *Server) SubmitTo(ctx context.Context, shard int, q Query) error {
 	if !s.started {
 		return fmt.Errorf("serve: Submit before Start")
 	}
@@ -230,9 +431,29 @@ func (s *Server) SubmitTo(shard int, q Query) error {
 	if q.Seq < 0 || q.Seq >= len(s.results) {
 		return fmt.Errorf("serve: query seq %d outside the server's capacity %d", q.Seq, len(s.results))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	q.submitted = time.Now()
-	s.queues[shard] <- q
-	return nil
+	if q.Deadline > 0 {
+		timer := time.NewTimer(q.Deadline)
+		defer timer.Stop()
+		select {
+		case s.queues[shard] <- q:
+			return nil
+		case <-timer.C:
+			s.nRejected.Add(1)
+			return fmt.Errorf("serve: query %d: %w", q.Seq, ErrDeadlineExceeded)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case s.queues[shard] <- q:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Wait closes admission, drains the shards, and returns the results slice
@@ -251,6 +472,7 @@ func (s *Server) Wait() ([]Result, error) {
 		close(q)
 	}
 	s.wg.Wait()
+	close(s.stop)
 	//lint:ignore lockguard wg.Wait above establishes happens-before with every errOnce.Do writer
 	return s.results, s.err
 }
@@ -265,15 +487,18 @@ func (s *Server) fail(err error) {
 // Serve is the one-shot convenience: start a server over sys, admit the
 // whole stream in order (Seq = slice index), and wait. The stream's
 // Arrival fields drive the clock in deterministic mode and are carried
-// through otherwise.
-func Serve(sys *storage.System, stream []Query, opt Options) ([]Result, error) {
+// through otherwise. Cancelling ctx drains the server mid-stream.
+func Serve(ctx context.Context, sys *storage.System, stream []Query, opt Options) ([]Result, error) {
 	s, err := New(sys, len(stream), opt)
 	if err != nil {
 		return nil, err
 	}
-	s.Start()
+	s.Start(ctx)
 	for _, q := range stream {
-		if err := s.Submit(q); err != nil {
+		if err := s.Submit(ctx, q); err != nil {
+			if s.failed.Load() {
+				break // drain-on-cancel/failure: Wait reports the cause
+			}
 			return nil, err
 		}
 	}

