@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff check
+.PHONY: build test race lint lint-baseline lint-accept vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff check
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,23 @@ race:
 	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/sim/... ./internal/fault/... ./internal/analysis/...
 
 ## lint: the repository's custom analyzers (microsfloat, satarith,
-## atomicfield, lockguard, noalloc) plus a curated go vet set — see
-## cmd/imflow-lint. `-json` emits the machine-readable record stream.
+## atomicfield, lockguard, noalloc, directive, plus the module-level
+## lockorder, ctxleak, and transitive noalloc) and a curated go vet set —
+## see cmd/imflow-lint. `-json` emits the machine-readable record stream.
 lint:
 	$(GO) run ./cmd/imflow-lint ./...
+
+## lint-baseline: the CI regression gate — fail only on findings that are
+## new relative to the committed lint_baseline.json (matched by file,
+## analyzer, and message, so line drift does not churn the gate).
+lint-baseline:
+	$(GO) run ./cmd/imflow-lint -baseline lint_baseline.json ./...
+
+## lint-accept: rewrite lint_baseline.json with the current findings.
+## Run after fixing findings (to shrink the baseline) or after a reviewed
+## decision to tolerate a new one; the diff is part of the code review.
+lint-accept:
+	$(GO) run ./cmd/imflow-lint -json -baseline lint_baseline.json -accept ./...
 
 vet:
 	$(GO) vet ./...
@@ -87,4 +100,4 @@ bench-diff:
 		-old-serve BENCH_serve.json -new-serve /tmp/imflow-bench-new/BENCH_serve.json \
 		-old-fault BENCH_fault.json -new-fault /tmp/imflow-bench-new/BENCH_fault.json
 
-check: build vet lint test audit race
+check: build vet lint-baseline test audit race

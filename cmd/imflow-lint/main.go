@@ -3,28 +3,42 @@
 // — the float-free integer-microsecond core (microsfloat), saturating
 // Micros arithmetic (satarith), the sync/atomic access discipline of the
 // lock-free parallel solver (atomicfield), the mutex guard annotations of
-// the serving layer (lockguard), and the zero-allocation hot paths
-// (noalloc) — plus a curated `go vet` set.
+// the serving layer (lockguard), the zero-allocation hot paths (noalloc,
+// both per-function and transitively over the call graph), directive
+// hygiene (directive), and the interprocedural concurrency checks built
+// on the module call graph (lockorder, ctxleak) — plus a curated
+// `go vet` set.
 //
 // Usage:
 //
 //	go run ./cmd/imflow-lint [flags] [packages...]
 //
 // With no package patterns it lints ./.... Each analyzer has an
-// enable/disable flag of the same name (-satarith=false skips satarith).
+// enable/disable flag of the same name (-satarith=false skips satarith;
+// -noalloc controls both the per-function and the transitive pass).
 // -json writes the findings as a stably sorted JSON record array on
 // stdout — the CI artifact and editor-integration format — instead of
 // the human text form.
+//
+// -baseline <file> turns the run into a regression gate: findings are
+// diffed against the committed record stream (lint_baseline.json at the
+// repository root) and only *new* findings fail the run, so the roster
+// can grow without demanding a same-day cleanup of the backlog. Findings
+// present in the baseline but absent now are listed as fixed; refresh
+// the baseline with -accept (see `make lint-accept`), which rewrites the
+// baseline file with the current findings and always exits 0.
 //
 // Findings are silenced per line with
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// on (or immediately above) the flagged line. The reason is mandatory; a
-// reasonless suppression is itself a finding. The exit status is
-// non-zero only for findings (malformed suppressions included) or a
-// failed vet pass — valid suppressions do not fail the run, and -json
-// reports them with "suppressed": true for auditability.
+// on (or immediately above) the flagged line. The reason is mandatory,
+// and the analyzer name must be in the roster; a reasonless or typo'd
+// suppression is itself a finding. The exit status is non-zero only for
+// findings (malformed suppressions included; new-vs-baseline findings in
+// baseline mode) or a failed vet pass — valid suppressions do not fail
+// the run, and -json reports them with "suppressed": true for
+// auditability.
 package main
 
 import (
@@ -35,19 +49,34 @@ import (
 
 	"imflow/internal/analysis"
 	"imflow/internal/analysis/atomicfield"
+	"imflow/internal/analysis/callgraph"
+	"imflow/internal/analysis/ctxleak"
+	"imflow/internal/analysis/directive"
 	"imflow/internal/analysis/lockguard"
+	"imflow/internal/analysis/lockorder"
 	"imflow/internal/analysis/microsfloat"
 	"imflow/internal/analysis/noalloc"
 	"imflow/internal/analysis/satarith"
 )
 
-// roster is the full analyzer set, in documentation order.
+// roster is the per-package analyzer set, in documentation order.
 var roster = []*analysis.Analyzer{
 	microsfloat.Analyzer,
 	satarith.Analyzer,
 	atomicfield.Analyzer,
 	lockguard.Analyzer,
 	noalloc.Analyzer,
+	directive.Analyzer,
+}
+
+// moduleRoster is the interprocedural set, run once over the call graph
+// of everything loaded rather than package by package. noalloc.Transitive
+// shares the "noalloc" name (and flag, and suppression grammar) with its
+// per-package half.
+var moduleRoster = []*callgraph.Analyzer{
+	noalloc.Transitive,
+	lockorder.Analyzer,
+	ctxleak.Analyzer,
 }
 
 // vetAnalyzers is the curated go vet set run alongside the custom
@@ -66,28 +95,62 @@ var vetAnalyzers = []string{
 	"unsafeptr",   // invalid unsafe.Pointer conversions
 }
 
+// knownNames is the set of analyzer names a //lint:ignore comment may
+// legitimately reference; "suppress" covers findings about suppressions
+// themselves.
+func knownNames() map[string]bool {
+	known := map[string]bool{"suppress": true}
+	for _, a := range roster {
+		known[a.Name] = true
+	}
+	for _, a := range moduleRoster {
+		known[a.Name] = true
+	}
+	return known
+}
+
 func main() {
 	novet := flag.Bool("novet", false, "skip the curated go vet pass")
 	list := flag.Bool("list", false, "print the analyzer set and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a stably sorted JSON record array on stdout")
+	baselinePath := flag.String("baseline", "", "diff findings against this baseline file; only new findings fail the run")
+	accept := flag.Bool("accept", false, "rewrite the -baseline file with the current findings and exit 0")
 	enabled := map[string]*bool{}
 	for _, a := range roster {
 		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+	}
+	for _, a := range moduleRoster {
+		if _, dup := enabled[a.Name]; !dup {
+			enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+		}
 	}
 	flag.Parse()
 	if *list {
 		for _, a := range roster {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range moduleRoster {
+			fmt.Printf("%-12s %s (module-level)\n", a.Name, a.Doc)
+		}
 		for _, name := range vetAnalyzers {
 			fmt.Printf("%-12s (go vet)\n", name)
 		}
 		return
 	}
+	if *accept && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "imflow-lint: -accept requires -baseline <file>")
+		os.Exit(2)
+	}
 	var analyzers []*analysis.Analyzer
 	for _, a := range roster {
 		if *enabled[a.Name] {
 			analyzers = append(analyzers, a)
+		}
+	}
+	var moduleAnalyzers []*callgraph.Analyzer
+	for _, a := range moduleRoster {
+		if *enabled[a.Name] {
+			moduleAnalyzers = append(moduleAnalyzers, a)
 		}
 	}
 	patterns := flag.Args()
@@ -96,30 +159,74 @@ func main() {
 	}
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "imflow-lint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	diags, err := analysis.Run(analyzers, pkgs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "imflow-lint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	active, suppressed := analysis.FilterSuppressed(pkgs, diags)
+	if len(moduleAnalyzers) > 0 {
+		graph, err := callgraph.Build(pkgs)
+		if err != nil {
+			fail(err)
+		}
+		moduleDiags, err := callgraph.Run(moduleAnalyzers, graph)
+		if err != nil {
+			fail(err)
+		}
+		diags = append(diags, moduleDiags...)
+		analysis.SortDiagnostics(diags)
+	}
+	active, suppressed := analysis.FilterSuppressed(pkgs, diags, knownNames())
+	root, _ := os.Getwd()
+	records := analysis.Records(root, active, suppressed)
+
+	if *accept {
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := analysis.WriteJSON(f, records); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "imflow-lint: wrote %d record(s) to %s\n", len(records), *baselinePath)
+		return
+	}
+
 	if *jsonOut {
-		root, _ := os.Getwd()
-		if err := analysis.WriteJSON(os.Stdout, analysis.Records(root, active, suppressed)); err != nil {
-			fmt.Fprintln(os.Stderr, "imflow-lint:", err)
-			os.Exit(2)
-		}
-	} else {
-		for _, d := range active {
-			fmt.Println(d)
-		}
-		if len(suppressed) > 0 {
-			fmt.Fprintf(os.Stderr, "imflow-lint: %d finding(s) suppressed by %s comments\n", len(suppressed), analysis.SuppressPrefix)
+		if err := analysis.WriteJSON(os.Stdout, records); err != nil {
+			fail(err)
 		}
 	}
-	failed := len(active) > 0
+
+	var failed bool
+	if *baselinePath != "" {
+		baseline, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		newFindings, fixed := analysis.DiffBaseline(records, baseline)
+		for _, r := range newFindings {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s (new since baseline)\n", r.File, r.Line, r.Col, r.Analyzer, r.Message)
+		}
+		if len(fixed) > 0 {
+			fmt.Fprintf(os.Stderr, "imflow-lint: %d baseline finding(s) fixed — refresh with `make lint-accept`\n", len(fixed))
+		}
+		failed = len(newFindings) > 0
+	} else {
+		if !*jsonOut {
+			for _, d := range active {
+				fmt.Println(d)
+			}
+			if len(suppressed) > 0 {
+				fmt.Fprintf(os.Stderr, "imflow-lint: %d finding(s) suppressed by %s comments\n", len(suppressed), analysis.SuppressPrefix)
+			}
+		}
+		failed = len(active) > 0
+	}
 	if !*novet {
 		args := []string{"vet"}
 		for _, name := range vetAnalyzers {
@@ -136,4 +243,9 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "imflow-lint:", err)
+	os.Exit(2)
 }

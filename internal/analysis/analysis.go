@@ -97,14 +97,16 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sortDiagnostics(diags)
+	SortDiagnostics(diags)
 	return diags, nil
 }
 
-// sortDiagnostics orders findings by position, then analyzer, then
+// SortDiagnostics orders findings by position, then analyzer, then
 // message — a total order, so any diagnostic set renders identically
 // run over run (the -json CI artifact depends on this stability).
-func sortDiagnostics(diags []Diagnostic) {
+// Drivers that merge per-package and module-level diagnostic streams
+// re-sort the combined slice with it.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -8,9 +8,18 @@
 //
 // Every quoted string is an anchored-nowhere regular expression that must
 // match the message of exactly one diagnostic reported on that line; every
-// diagnostic must be matched by exactly one expectation. Fixtures live
-// under testdata/ so the go tool never builds them, but they are parsed
-// and fully type-checked (including real imports such as
+// diagnostic must be matched by exactly one expectation. "// want+N"
+// expects the diagnostic N lines below the comment instead — the form for
+// diagnostics reported on directive comments, whose text must stay
+// byte-exact (and which gofmt pins to the bottom of a doc comment):
+//
+//	// want+2 "unknown directive"
+//	//
+//	//imflow:noaloc
+//	func f() {}
+//
+// Fixtures live under testdata/ so the go tool never builds them, but
+// they are parsed and fully type-checked (including real imports such as
 // imflow/internal/cost) by analysis.LoadDir.
 package analyzertest
 
@@ -19,10 +28,12 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
 	"imflow/internal/analysis"
+	"imflow/internal/analysis/callgraph"
 )
 
 // wantRe matches the quoted patterns of a // want comment.
@@ -56,6 +67,34 @@ func RunAll(t *testing.T, analyzers []*analysis.Analyzer, dir string) []analysis
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
+	compare(t, dir, diags)
+	return diags
+}
+
+// RunModule loads the fixture package in dir, builds its call graph, and
+// applies the module-level analyzers, comparing the diagnostics against
+// the // want expectations exactly like Run.
+func RunModule(t *testing.T, analyzers []*callgraph.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	graph, err := callgraph.Build([]*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("building call graph for %s: %v", dir, err)
+	}
+	diags, err := callgraph.Run(analyzers, graph)
+	if err != nil {
+		t.Fatalf("running module analyzers on %s: %v", dir, err)
+	}
+	compare(t, dir, diags)
+	return diags
+}
+
+// compare checks the diagnostics against the fixture's expectations.
+func compare(t *testing.T, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
 	expects, err := parseExpectations(dir)
 	if err != nil {
 		t.Fatalf("parsing expectations: %v", err)
@@ -70,7 +109,6 @@ func RunAll(t *testing.T, analyzers []*analysis.Analyzer, dir string) []analysis
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
 		}
 	}
-	return diags
 }
 
 // claim marks the first unmatched expectation on the diagnostic's line
@@ -105,9 +143,25 @@ func parseExpectations(dir string) ([]*expectation, error) {
 			return nil, err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			_, wants, ok := strings.Cut(line, "// want ")
+			_, wants, ok := strings.Cut(line, "// want")
 			if !ok {
 				continue
+			}
+			// "// want+N" expects the diagnostic N lines below — the form
+			// for diagnostics on directive comments, whose own line must
+			// stay byte-exact.
+			lineNo := i + 1
+			if strings.HasPrefix(wants, "+") {
+				j := 1
+				for j < len(wants) && wants[j] >= '0' && wants[j] <= '9' {
+					j++
+				}
+				n, err := strconv.Atoi(wants[1:j])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want offset %q", entry.Name(), i+1, wants)
+				}
+				lineNo += n
+				wants = wants[j:]
 			}
 			ms := wantRe.FindAllStringSubmatch(wants, -1)
 			if len(ms) == 0 {
@@ -118,7 +172,7 @@ func parseExpectations(dir string) ([]*expectation, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", entry.Name(), i+1, m[1], err)
 				}
-				out = append(out, &expectation{file: entry.Name(), line: i + 1, pattern: re})
+				out = append(out, &expectation{file: entry.Name(), line: lineNo, pattern: re})
 			}
 		}
 	}

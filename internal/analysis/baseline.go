@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline support: the regression gate that lets the lint roster grow
+// without demanding a same-day cleanup of every pre-existing finding.
+// A baseline is simply a committed -json record stream (lint_baseline.json
+// at the repository root); `imflow-lint -baseline <file>` diffs the
+// current findings against it and fails only on *new* findings. Fixed
+// findings are reported so the baseline can be re-tightened with
+// `imflow-lint -accept` (`make lint-accept`).
+//
+// Findings are matched by (file, analyzer, message) as a multiset —
+// line and column are deliberately ignored so that unrelated edits that
+// shift a finding a few lines do not read as one fixed and one new.
+// Suppressed records in the baseline are ignored on both sides: a
+// suppression is already a reviewed claim, and unsuppressing one should
+// surface as a new finding.
+
+// ReadBaseline loads a baseline file written by WriteJSON.
+func ReadBaseline(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// baselineKey is the identity findings are matched under across runs.
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+func keyOf(r Record) baselineKey {
+	return baselineKey{File: r.File, Analyzer: r.Analyzer, Message: r.Message}
+}
+
+// DiffBaseline compares the current records against the baseline and
+// returns the findings that are new (present now, absent then — these
+// fail the gate) and fixed (present then, absent now — these invite a
+// baseline refresh). Suppressed records on either side are excluded
+// before matching. Multiplicity counts: two identical findings now
+// against one in the baseline yields one new finding.
+func DiffBaseline(current, baseline []Record) (newFindings, fixed []Record) {
+	counts := map[baselineKey]int{}
+	for _, r := range baseline {
+		if !r.Suppressed {
+			counts[keyOf(r)]++
+		}
+	}
+	for _, r := range current {
+		if r.Suppressed {
+			continue
+		}
+		k := keyOf(r)
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		newFindings = append(newFindings, r)
+	}
+	// Whatever multiplicity is left in the baseline was not matched by a
+	// current finding: fixed.
+	for _, r := range baseline {
+		if r.Suppressed {
+			continue
+		}
+		k := keyOf(r)
+		if counts[k] > 0 {
+			counts[k]--
+			fixed = append(fixed, r)
+		}
+	}
+	sortRecords(newFindings)
+	sortRecords(fixed)
+	return newFindings, fixed
+}

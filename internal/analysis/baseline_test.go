@@ -1,0 +1,96 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imflow/internal/analysis"
+)
+
+func rec(file, analyzer, message string, line int) analysis.Record {
+	return analysis.Record{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: message}
+}
+
+// TestDiffBaseline pins the gate semantics: unchanged findings pass,
+// new findings fail, absent findings report as fixed, matching ignores
+// line numbers, respects multiplicity, and skips suppressed records.
+func TestDiffBaseline(t *testing.T) {
+	baseline := []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 10),
+		rec("a.go", "noalloc", "make allocates", 20), // same key twice: multiset
+		rec("b.go", "lockorder", "cycle", 5),
+		{File: "c.go", Line: 1, Col: 1, Analyzer: "ctxleak", Message: "quiet", Suppressed: true, Reason: "reviewed"},
+	}
+	current := []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 99), // line drift: still matches
+		rec("a.go", "noalloc", "make allocates", 100),
+		rec("d.go", "ctxleak", "blocking send", 7), // new
+		{File: "c.go", Line: 1, Col: 1, Analyzer: "ctxleak", Message: "quiet", Suppressed: true, Reason: "reviewed"},
+	}
+	newFindings, fixed := analysis.DiffBaseline(current, baseline)
+	if len(newFindings) != 1 || newFindings[0].File != "d.go" {
+		t.Fatalf("newFindings = %v, want the single d.go finding", newFindings)
+	}
+	if len(fixed) != 1 || fixed[0].File != "b.go" {
+		t.Fatalf("fixed = %v, want the single b.go finding", fixed)
+	}
+}
+
+// TestDiffBaselineMultiplicity: a second identical finding in the same
+// file is new even though the first is baselined.
+func TestDiffBaselineMultiplicity(t *testing.T) {
+	baseline := []analysis.Record{rec("a.go", "noalloc", "make allocates", 10)}
+	current := []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 10),
+		rec("a.go", "noalloc", "make allocates", 30),
+	}
+	newFindings, fixed := analysis.DiffBaseline(current, baseline)
+	if len(newFindings) != 1 || len(fixed) != 0 {
+		t.Fatalf("new = %v fixed = %v, want exactly one new and none fixed", newFindings, fixed)
+	}
+}
+
+// TestDiffBaselineUnchanged: identical streams produce an empty diff.
+func TestDiffBaselineUnchanged(t *testing.T) {
+	recs := []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 10),
+		rec("b.go", "lockorder", "cycle", 5),
+	}
+	newFindings, fixed := analysis.DiffBaseline(recs, recs)
+	if len(newFindings) != 0 || len(fixed) != 0 {
+		t.Fatalf("new = %v fixed = %v, want empty diff", newFindings, fixed)
+	}
+}
+
+// TestBaselineRoundTrip: a record stream written by WriteJSON reads back
+// identically through ReadBaseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	recs := []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 10),
+		{File: "c.go", Line: 1, Col: 2, Analyzer: "ctxleak", Message: "quiet", Suppressed: true, Reason: "reviewed"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.WriteJSON(f, recs); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}

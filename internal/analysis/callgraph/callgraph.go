@@ -1,0 +1,563 @@
+// Package callgraph builds a type-resolved, module-wide call graph over
+// the packages the analysis loader produced, and hosts the module-level
+// (interprocedural) analyzers that run on top of it.
+//
+// The per-package analyzers in sibling packages prove properties of one
+// function body at a time; the invariants that motivated this package —
+// "an //imflow:noalloc path never reaches an allocating function",
+// "mutexes are always acquired in one global order" — are properties of
+// *call chains*. The graph gives each declared function a Node whose edge
+// list is its interprocedural fact summary: every call it makes, every
+// function value it lets escape, every goroutine it spawns, each resolved
+// to target Nodes where the type information permits.
+//
+// # Resolution
+//
+//   - Direct calls (pkg.F(), recv.M()) resolve to the single declared
+//     target.
+//   - Interface method calls resolve by method-set matching: an edge is
+//     added to the declared method of every concrete named type in the
+//     loaded packages that satisfies the interface (EdgeDispatch). This
+//     over-approximates — the dynamic type might never be one of them —
+//     but it is the sound direction for "may reach" questions.
+//   - Method values and function values that escape (x.M passed as an
+//     argument, f assigned to a field) produce EdgeRef edges to their
+//     target: the function *may* be called wherever the value flows.
+//   - go statements produce EdgeSpawn edges (resolved like calls);
+//     `go func(){...}()` bodies, like all function literals, are
+//     attributed to the enclosing declared function.
+//
+// # Soundness caveats (see DESIGN.md §11)
+//
+//   - Calls through plain function-typed variables, fields, and
+//     parameters (hook points such as serve.Options.OnSchedule) cannot be
+//     resolved; they are recorded as unresolved edges and the analyzers
+//     treat their targets as unknown.
+//   - Function bodies outside the loaded packages (the standard library)
+//     are invisible; edges to them carry only the target's identity.
+//   - Interface matching compares method signatures structurally by
+//     their fully-qualified rendering, because the same package is
+//     type-checked from source as an analysis target but from export
+//     data when imported by another target: the two worlds disagree on
+//     object identity but agree on the rendering.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"imflow/internal/analysis"
+)
+
+// EdgeKind classifies how a caller reaches a target.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct (statically resolved) call or defer.
+	EdgeCall EdgeKind = iota
+	// EdgeDispatch is an interface method call, fanned out to every
+	// concrete implementation in the loaded packages.
+	EdgeDispatch
+	// EdgeRef is a function or method value escaping without being
+	// called at the reference site (it may be called elsewhere).
+	EdgeRef
+	// EdgeSpawn is a go statement.
+	EdgeSpawn
+	// EdgeDynamic is a call through a function-typed value the graph
+	// cannot resolve; Callee is nil and TargetID is empty.
+	EdgeDynamic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDispatch:
+		return "dispatch"
+	case EdgeRef:
+		return "ref"
+	case EdgeSpawn:
+		return "spawn"
+	default:
+		return "dynamic"
+	}
+}
+
+// Edge is one outgoing fact of a function summary.
+type Edge struct {
+	Caller *Node
+	// Callee is the resolved target node, nil when the target is outside
+	// the loaded packages (TargetID still identifies it) or dynamic
+	// (TargetID empty).
+	Callee *Node
+	Kind   EdgeKind
+	// Pos is the call, reference, or go-statement position in the
+	// caller's file set.
+	Pos token.Pos
+	// TargetID is the stable identity of the target (see FuncID), "" for
+	// dynamic edges.
+	TargetID string
+	// TargetPkg is the target's package path ("" for dynamic edges).
+	TargetPkg string
+	// Lit is the spawned function literal of a `go func(){...}()` edge.
+	Lit *ast.FuncLit
+}
+
+// Node is one declared function or method together with its
+// interprocedural fact summary.
+type Node struct {
+	ID   string
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *analysis.Package
+	// Out lists every call, dispatch, reference, spawn, and unresolved
+	// dynamic call in the body (function literals included), in source
+	// order.
+	Out []Edge
+}
+
+// Name returns the node's short human form, "pkg.F" or "pkg.(T).M" with
+// the package base name only.
+func (n *Node) Name() string {
+	id := n.ID
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	return id
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	// Nodes indexes every declared function by its stable ID.
+	Nodes map[string]*Node
+	// Pkgs are the packages the graph was built from.
+	Pkgs []*analysis.Package
+
+	dispatchMemo map[string][]*Node
+	concrete     []types.Type
+}
+
+// FuncID renders the stable identity of fn: "pkgpath.F" for functions and
+// "pkgpath.(T).M" for methods (pointer receivers are stripped). Objects
+// for the same source function loaded through different importers render
+// identically, which is what lets cross-package edges resolve.
+func FuncID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := ""
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			name = named.Obj().Name()
+		} else {
+			name = types.TypeString(t, nil)
+		}
+		return pkgPath + ".(" + name + ")." + fn.Name()
+	}
+	return pkgPath + "." + fn.Name()
+}
+
+// Build constructs the call graph over pkgs. All packages must share one
+// token.FileSet (analysis.Load guarantees this; LoadDir fixtures are a
+// single package).
+func Build(pkgs []*analysis.Package) (*Graph, error) {
+	g := &Graph{
+		Nodes:        map[string]*Node{},
+		Pkgs:         pkgs,
+		dispatchMemo: map[string][]*Node{},
+	}
+	// Pass 1: index every declared function and every concrete named type
+	// (the dispatch candidates).
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := FuncID(fn)
+				if _, dup := g.Nodes[id]; dup {
+					return nil, fmt.Errorf("callgraph: duplicate function ID %q", id)
+				}
+				g.Nodes[id] = &Node{ID: id, Func: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.concrete = append(g.concrete, named)
+		}
+	}
+	// Pass 2: walk every body and record the summary edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := g.Nodes[FuncID(fn)]
+				walkBody(g, pkg, node)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SortedNodes returns the nodes in deterministic (ID) order.
+func (g *Graph) SortedNodes() []*Node {
+	out := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// walkBody records node's summary edges. Function literal bodies are
+// walked in place, attributing their calls to the enclosing declaration.
+func walkBody(g *Graph, pkg *analysis.Package, node *Node) {
+	info := pkg.Info
+	// funOf marks expressions in call-function position (so a later
+	// visit does not double-record them as escaping references), and
+	// spawns marks the calls of go statements.
+	funOf := map[ast.Expr]bool{}
+	spawns := map[*ast.CallExpr]bool{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns[n.Call] = true
+		case *ast.CallExpr:
+			funOf[uninstantiate(ast.Unparen(n.Fun))] = true
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			kind := EdgeCall
+			if spawns[n] {
+				kind = EdgeSpawn
+			}
+			resolveCall(g, info, node, n, kind)
+		case *ast.Ident:
+			// A bare function identifier escaping as a value.
+			if funOf[n] || isSelectorSel(stack, n) {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				addResolved(g, node, fn, EdgeRef, n.Pos())
+			}
+		case *ast.SelectorExpr:
+			// A method or qualified-function value escaping.
+			if funOf[n] {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok {
+				if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+					m, _ := sel.Obj().(*types.Func)
+					if m == nil {
+						return true
+					}
+					if iface := recvInterface(sel); iface != nil {
+						addDispatch(g, node, m, iface, EdgeRef, n.Pos())
+					} else {
+						addResolved(g, node, m, EdgeRef, n.Pos())
+					}
+				}
+				return true
+			}
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+				addResolved(g, node, fn, EdgeRef, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// isSelectorSel reports whether id is the Sel child of its parent
+// selector (handled when the selector itself is visited).
+func isSelectorSel(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	return ok && sel.Sel == id
+}
+
+// uninstantiate strips an explicit generic instantiation f[T] down to f.
+func uninstantiate(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		return ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		return ast.Unparen(x.X)
+	}
+	return e
+}
+
+// resolveCall classifies one call (or spawn) expression and appends the
+// resulting edge(s).
+func resolveCall(g *Graph, info *types.Info, node *Node, call *ast.CallExpr, kind EdgeKind) {
+	fun := uninstantiate(ast.Unparen(call.Fun))
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch o := info.Uses[f].(type) {
+		case *types.Func:
+			addResolved(g, node, o, kind, call.Pos())
+		case *types.Builtin, *types.TypeName, nil:
+			// builtin or conversion: no edge
+		default:
+			node.Out = append(node.Out, Edge{Caller: node, Kind: dynamicKind(kind), Pos: call.Pos()})
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return
+				}
+				if iface := recvInterface(sel); iface != nil {
+					addDispatch(g, node, m, iface, dispatchKind(kind), call.Pos())
+				} else {
+					addResolved(g, node, m, kind, call.Pos())
+				}
+			case types.FieldVal:
+				// calling a function-typed field: dynamic
+				node.Out = append(node.Out, Edge{Caller: node, Kind: dynamicKind(kind), Pos: call.Pos()})
+			}
+			return
+		}
+		switch o := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			addResolved(g, node, o, kind, call.Pos())
+		case *types.TypeName, *types.Builtin, nil:
+			// conversion: no edge
+		default:
+			node.Out = append(node.Out, Edge{Caller: node, Kind: dynamicKind(kind), Pos: call.Pos()})
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is attributed to the
+		// enclosing function by the walk, so there is nothing to add —
+		// except for spawns, where the goroutine identity matters.
+		if kind == EdgeSpawn {
+			node.Out = append(node.Out, Edge{Caller: node, Kind: EdgeSpawn, Pos: call.Pos(), Lit: f})
+		}
+	default:
+		// Conversions through type expressions, calls of call results,
+		// index expressions over function slices, ...
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+		node.Out = append(node.Out, Edge{Caller: node, Kind: dynamicKind(kind), Pos: call.Pos()})
+	}
+}
+
+func dynamicKind(kind EdgeKind) EdgeKind {
+	if kind == EdgeSpawn {
+		return EdgeSpawn // an unresolved spawn is still a spawn fact
+	}
+	return EdgeDynamic
+}
+
+func dispatchKind(kind EdgeKind) EdgeKind {
+	if kind == EdgeSpawn {
+		return EdgeSpawn
+	}
+	return EdgeDispatch
+}
+
+// recvInterface returns the receiver's interface type for an interface
+// method selection, nil for concrete receivers.
+func recvInterface(sel *types.Selection) *types.Interface {
+	if sel.Kind() == types.MethodExpr {
+		// I.M yields a func whose first parameter is the receiver.
+		if sig, ok := sel.Type().(*types.Signature); ok && sig.Params().Len() > 0 {
+			if iface, ok := sig.Params().At(0).Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+		return nil
+	}
+	t := sel.Recv()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// addResolved appends one edge to a statically known target, linking it
+// to the target's node when the function is declared in the loaded
+// packages.
+func addResolved(g *Graph, node *Node, fn *types.Func, kind EdgeKind, pos token.Pos) {
+	id := FuncID(fn)
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	node.Out = append(node.Out, Edge{
+		Caller:    node,
+		Callee:    g.Nodes[id],
+		Kind:      kind,
+		Pos:       pos,
+		TargetID:  id,
+		TargetPkg: pkgPath,
+	})
+}
+
+// addDispatch fans an interface method call out to every implementation.
+func addDispatch(g *Graph, node *Node, m *types.Func, iface *types.Interface, kind EdgeKind, pos token.Pos) {
+	impls := g.implementations(m, iface)
+	if len(impls) == 0 {
+		// No implementation in the loaded packages: keep the abstract
+		// target so diagnostics can still name it.
+		addResolved(g, node, m, kind, pos)
+		return
+	}
+	for _, impl := range impls {
+		node.Out = append(node.Out, Edge{
+			Caller:    node,
+			Callee:    impl,
+			Kind:      kind,
+			Pos:       pos,
+			TargetID:  impl.ID,
+			TargetPkg: impl.Func.Pkg().Path(),
+		})
+	}
+}
+
+// sigKey renders a signature's parameters and results with
+// fully-qualified type names, ignoring the receiver — the structural
+// identity used to match interface methods across type-check worlds.
+func sigKey(sig *types.Signature) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), qual))
+	}
+	b.WriteByte(')')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), qual))
+	}
+	return b.String()
+}
+
+// implementations returns the declared methods that an interface call to
+// m may dispatch to: for every concrete named type whose (pointer)
+// method set structurally satisfies iface, the declared method named like
+// m. Results are memoized per interface/method rendering and returned in
+// deterministic order.
+func (g *Graph) implementations(m *types.Func, iface *types.Interface) []*Node {
+	qual := func(p *types.Package) string { return p.Path() }
+	memoKey := types.TypeString(iface, qual) + "." + m.Name()
+	if impls, ok := g.dispatchMemo[memoKey]; ok {
+		return impls
+	}
+	var out []*Node
+	for _, T := range g.concrete {
+		ms := types.NewMethodSet(types.NewPointer(T))
+		if !satisfies(ms, iface) {
+			continue
+		}
+		target := lookupMethod(ms, m)
+		if target == nil {
+			continue
+		}
+		if node := g.Nodes[FuncID(target)]; node != nil {
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	g.dispatchMemo[memoKey] = out
+	return out
+}
+
+// satisfies reports whether the method set covers every method of iface,
+// matching by name, exportedness-aware package, and structural signature.
+func satisfies(ms *types.MethodSet, iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if lookupMethod(ms, iface.Method(i)) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupMethod finds the method-set member matching m and returns its
+// declared *types.Func, nil when absent or signature-mismatched.
+func lookupMethod(ms *types.MethodSet, m *types.Func) *types.Func {
+	want, _ := m.Type().(*types.Signature)
+	if want == nil {
+		return nil
+	}
+	for i := 0; i < ms.Len(); i++ {
+		obj, _ := ms.At(i).Obj().(*types.Func)
+		if obj == nil || obj.Name() != m.Name() {
+			continue
+		}
+		if !m.Exported() {
+			mp, op := "", ""
+			if m.Pkg() != nil {
+				mp = m.Pkg().Path()
+			}
+			if obj.Pkg() != nil {
+				op = obj.Pkg().Path()
+			}
+			if mp != op {
+				continue
+			}
+		}
+		got, _ := obj.Type().(*types.Signature)
+		if got != nil && sigKey(got) == sigKey(want) {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"imflow/internal/analysis"
+	"imflow/internal/analysis/callgraph"
+)
+
+func buildShapes(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	pkg, err := analysis.LoadDir("testdata/shapes")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	g, err := callgraph.Build([]*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// node finds the unique node whose ID ends with suffix.
+func node(t *testing.T, g *callgraph.Graph, suffix string) *callgraph.Node {
+	t.Helper()
+	var found *callgraph.Node
+	for id, n := range g.Nodes {
+		if strings.HasSuffix(id, suffix) {
+			if found != nil {
+				t.Fatalf("suffix %q is ambiguous: %s and %s", suffix, found.ID, id)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with ID suffix %q", suffix)
+	}
+	return found
+}
+
+// edgesTo returns n's edges whose TargetID ends with suffix.
+func edgesTo(n *callgraph.Node, suffix string) []callgraph.Edge {
+	var out []callgraph.Edge
+	for _, e := range n.Out {
+		if e.TargetID != "" && strings.HasSuffix(e.TargetID, suffix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func kinds(edges []callgraph.Edge) []callgraph.EdgeKind {
+	out := make([]callgraph.EdgeKind, len(edges))
+	for i, e := range edges {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// TestDirectCall: a static call is one EdgeCall to the declared target,
+// linked to its node.
+func TestDirectCall(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.direct")
+	es := edgesTo(n, "shapes.leaf")
+	if len(es) != 1 || es[0].Kind != callgraph.EdgeCall {
+		t.Fatalf("direct → leaf edges = %v (kinds %v), want one EdgeCall", es, kinds(es))
+	}
+	if es[0].Callee == nil || es[0].Callee != node(t, g, "shapes.leaf") {
+		t.Fatalf("direct call edge is not linked to the leaf node: %+v", es[0])
+	}
+}
+
+// TestInterfaceDispatch: an interface call fans out to every concrete
+// implementation as EdgeDispatch.
+func TestInterfaceDispatch(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.dispatch")
+	targets := map[string]bool{}
+	for _, e := range n.Out {
+		if e.Kind != callgraph.EdgeDispatch {
+			t.Errorf("dispatch has non-dispatch edge %v to %q", e.Kind, e.TargetID)
+		}
+		targets[e.TargetID] = true
+	}
+	if len(n.Out) != 2 ||
+		!targets[node(t, g, "(fast).run").ID] ||
+		!targets[node(t, g, "(slow).run").ID] {
+		t.Fatalf("dispatch edges = %+v, want EdgeDispatch to (fast).run and (slow).run", n.Out)
+	}
+}
+
+// TestMethodValue: an escaping method value is an EdgeRef to the method.
+func TestMethodValue(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.methodValue")
+	es := edgesTo(n, "(fast).run")
+	if len(es) != 1 || es[0].Kind != callgraph.EdgeRef {
+		t.Fatalf("methodValue → (fast).run edges = %v (kinds %v), want one EdgeRef", es, kinds(es))
+	}
+}
+
+// TestFuncValue: an escaping function identifier is an EdgeRef.
+func TestFuncValue(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.funcValue")
+	es := edgesTo(n, "shapes.leaf")
+	if len(es) != 1 || es[0].Kind != callgraph.EdgeRef {
+		t.Fatalf("funcValue → leaf edges = %v (kinds %v), want one EdgeRef", es, kinds(es))
+	}
+}
+
+// TestClosureAttribution: calls inside a function literal belong to the
+// enclosing declaration; the call through the variable is EdgeDynamic.
+func TestClosureAttribution(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.closure")
+	es := edgesTo(n, "shapes.leaf")
+	if len(es) != 1 || es[0].Kind != callgraph.EdgeCall {
+		t.Fatalf("closure → leaf edges = %v (kinds %v), want one EdgeCall attributed to closure", es, kinds(es))
+	}
+	dynamics := 0
+	for _, e := range n.Out {
+		if e.Kind == callgraph.EdgeDynamic {
+			dynamics++
+		}
+	}
+	if dynamics != 1 {
+		t.Fatalf("closure has %d dynamic edges, want 1 (the f() call)", dynamics)
+	}
+}
+
+// TestSpawn: go statements are EdgeSpawn — resolved for named targets,
+// carrying the literal for go func(){}(), whose body's calls are still
+// attributed to the spawner.
+func TestSpawn(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.spawn")
+	es := edgesTo(n, "shapes.direct")
+	if len(es) != 1 || es[0].Kind != callgraph.EdgeSpawn {
+		t.Fatalf("spawn → direct edges = %v (kinds %v), want one EdgeSpawn", es, kinds(es))
+	}
+	litSpawns := 0
+	for _, e := range n.Out {
+		if e.Kind == callgraph.EdgeSpawn && e.Lit != nil {
+			litSpawns++
+		}
+	}
+	if litSpawns != 1 {
+		t.Fatalf("spawn has %d literal spawn edges, want 1", litSpawns)
+	}
+	if es := edgesTo(n, "shapes.leaf"); len(es) != 1 || es[0].Kind != callgraph.EdgeCall {
+		t.Fatalf("spawned literal's leaf() call = %v (kinds %v), want one EdgeCall on spawn", es, kinds(es))
+	}
+}
+
+// TestRecursionTerminates: PathTo survives a recursion cycle, finds the
+// one-hop path, and returns nil for unreachable goals instead of looping.
+func TestRecursionTerminates(t *testing.T) {
+	g := buildShapes(t)
+	a, b := node(t, g, "shapes.cycleA"), node(t, g, "shapes.cycleB")
+	all := func(callgraph.Edge) bool { return true }
+	path := g.PathTo(a, func(n *callgraph.Node) bool { return n == b }, all)
+	if len(path) != 1 {
+		t.Fatalf("PathTo(cycleA, cycleB) = %v, want a one-edge path", path)
+	}
+	if got := callgraph.FormatPath(path); got != "shapes.cycleA → shapes.cycleB" {
+		t.Fatalf("FormatPath = %q", got)
+	}
+	leaf := node(t, g, "shapes.leaf")
+	if p := g.PathTo(a, func(n *callgraph.Node) bool { return n == leaf }, all); p != nil {
+		t.Fatalf("PathTo(cycleA, leaf) = %v, want nil (unreachable)", p)
+	}
+}
+
+// TestDynamicCall: a call through a function-typed parameter is recorded
+// as an unresolved EdgeDynamic fact.
+func TestDynamicCall(t *testing.T) {
+	g := buildShapes(t)
+	n := node(t, g, "shapes.dynamic")
+	if len(n.Out) != 1 || n.Out[0].Kind != callgraph.EdgeDynamic || n.Out[0].TargetID != "" {
+		t.Fatalf("dynamic edges = %+v, want exactly one unresolved EdgeDynamic", n.Out)
+	}
+}

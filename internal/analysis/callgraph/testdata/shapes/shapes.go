@@ -1,0 +1,56 @@
+// Package shapes is the callgraph golden fixture: each function exercises
+// one resolution shape the graph must classify correctly. The test asserts
+// on graph structure directly, so no // want comments appear here.
+package shapes
+
+type runner interface {
+	run() int
+}
+
+type fast struct{}
+
+func (fast) run() int { return 1 }
+
+type slow struct{}
+
+func (slow) run() int { return 2 }
+
+func leaf() int { return 0 }
+
+// direct: a plain static call.
+func direct() int { return leaf() }
+
+// dispatch: an interface method call fans out to every implementation.
+func dispatch(r runner) int { return r.run() }
+
+// methodValue: an escaping method value is a ref edge to the method.
+func methodValue(f fast) func() int { return f.run }
+
+// funcValue: an escaping function identifier is a ref edge.
+func funcValue() func() int { return leaf }
+
+// closure: calls inside a function literal are attributed to the
+// enclosing declaration; the call through the local variable is dynamic.
+func closure() int {
+	f := func() int { return leaf() }
+	return f()
+}
+
+// spawn: go statements, both resolved and literal.
+func spawn() {
+	go direct()
+	go func() { _ = leaf() }()
+}
+
+// cycleA and cycleB recurse mutually; searches must terminate.
+func cycleA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return cycleB(n - 1)
+}
+
+func cycleB(n int) int { return cycleA(n) }
+
+// dynamic: a call through a function-typed parameter cannot resolve.
+func dynamic(f func() int) int { return f() }

@@ -1,0 +1,26 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/callgraph"
+	"imflow/internal/analysis/ctxleak"
+)
+
+// TestUnguardedBlocking proves every unguarded blocking shape is reported:
+// bare sends, bare receives, deaf selects, channel ranges, and spawned
+// goroutines with no cancellation path.
+func TestUnguardedBlocking(t *testing.T) {
+	diags := analyzertest.RunModule(t, []*callgraph.Analyzer{ctxleak.Analyzer}, "testdata/leaky")
+	if len(diags) != 5 {
+		t.Fatalf("leaky fixture produced %d diagnostics, want 5:\n%v", len(diags), diags)
+	}
+}
+
+// TestGuardedBlocking proves cancellation-aware shapes stay silent:
+// selects with a Done() case, a default case, or a struct{} signal
+// channel, direct Done() waits, and functions outside the scope.
+func TestGuardedBlocking(t *testing.T) {
+	analyzertest.RunModule(t, []*callgraph.Analyzer{ctxleak.Analyzer}, "testdata/guarded")
+}

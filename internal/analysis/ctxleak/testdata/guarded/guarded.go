@@ -1,0 +1,54 @@
+// Package guarded is the ctxleak clean fixture: every blocking channel
+// operation can observe cancellation, refuses to block, or waits on the
+// cancellation signal itself.
+package guarded
+
+import "context"
+
+func sendWithDone(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func tryRecv(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// stopSignal uses the close-to-broadcast idiom: a struct{} signal channel
+// counts as a cancellation case.
+func stopSignal(ctx context.Context, ch chan int, stop chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+// waitCancel blocks on Done() itself — that receive is the cancellation
+// wait, not a leak.
+func waitCancel(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func spawnGuarded(out chan int, stop chan struct{}) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-stop:
+		}
+	}()
+}
+
+// plain has no context and spawns nothing: out of the analyzer's scope
+// by design (its caller owns the blocking decision).
+func plain(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,36 @@
+// Package leaky is the ctxleak golden fixture: every blocking channel
+// operation here has no way to observe cancellation.
+package leaky
+
+import "context"
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "blocking send on ch in context-aware function leaky.bareSend has no cancellation path"
+}
+
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "blocking receive from ch in context-aware function leaky.bareRecv has no cancellation path"
+}
+
+func deafSelect(ctx context.Context, a, b chan int) {
+	select { // want "select in context-aware function leaky.deafSelect has no cancellation or default case"
+	case <-a:
+	case <-b:
+	}
+}
+
+func drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want "ranging over channel ch in context-aware function leaky.drain blocks until close; cancellation is ignored"
+		total += v
+	}
+	return total
+}
+
+// spawner has no context, but a spawned goroutine is held to the same
+// rules: the spawner returns, the goroutine parks forever.
+func spawner(out chan int) {
+	go func() {
+		out <- 1 // want "blocking send on out in goroutine spawned by leaky.spawner has no cancellation path"
+	}()
+}

@@ -1,0 +1,492 @@
+// Package lockorder implements the module-level analyzer that derives a
+// lock-acquisition-order graph and reports cycles as potential deadlocks.
+//
+// Two goroutines that acquire the same two mutexes in opposite orders can
+// deadlock; the classic prevention discipline is a global acquisition
+// order. The analyzer reconstructs the observed order mechanically:
+//
+//   - every sync.Mutex/RWMutex Lock/RLock call is an acquisition of the
+//     lock *object* it resolves to (a struct field such as serve.Server's
+//     mu, a package-level or local variable, or an embedded mutex);
+//   - acquiring B while A is held adds the order edge A → B;
+//   - calling a function while holding A adds A → X for every lock X the
+//     callee acquires *transitively* (a fixed point over the call graph,
+//     so the serve → retrieval → maxflow chains are covered);
+//   - a cycle in the resulting graph — including the self-cycle of
+//     reacquiring a held, non-RLock mutex — is reported once, with a
+//     witness (function, position, and call chain) for every edge on it.
+//
+// Like lockguard, the held-set tracking is a straight-line approximation:
+// it follows source order, treats a deferred Unlock as holding to return,
+// and gives function literals a fresh (empty) held set because their
+// execution time is unknown. Goroutine spawns and escaping function
+// values contribute no order edges — a spawned body runs concurrently,
+// so its acquisitions are not "while held". `go test -race` remains the
+// dynamic backstop; this analyzer exists to catch inverted orders on
+// paths the tests never interleave.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"imflow/internal/analysis/callgraph"
+)
+
+// Analyzer is the lockorder module analyzer.
+var Analyzer = &callgraph.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition order must be acyclic across all call chains (cycles are potential deadlocks)",
+	Run:  run,
+}
+
+// held is one lock currently held during the straight-line walk.
+type held struct {
+	obj types.Object
+	op  string // "Lock" or "RLock"
+}
+
+// orderEdge is one observed A-before-B acquisition, with its witness.
+type orderEdge struct {
+	from, to types.Object
+	fromOp   string
+	toOp     string
+	node     *callgraph.Node // function the witness position lives in
+	pos      token.Pos       // acquire or call position
+	chain    string          // non-empty for interprocedural edges
+}
+
+// funcLocks is one function's lock fact summary.
+type funcLocks struct {
+	// direct maps each lock acquired in the body to the strongest op
+	// ("Lock" beats "RLock") and one acquire position.
+	direct map[types.Object]directAcq
+	// edges are the intraprocedural order edges.
+	edges []orderEdge
+	// calls records every resolved call with at least one lock held.
+	calls []heldCall
+}
+
+type directAcq struct {
+	op  string
+	pos token.Pos
+}
+
+type heldCall struct {
+	callee *callgraph.Node
+	pos    token.Pos
+	held   []held
+}
+
+func run(pass *callgraph.Pass) error {
+	g := pass.Graph
+	labels := lockLabels(g)
+	facts := map[*callgraph.Node]*funcLocks{}
+	for _, n := range g.Nodes {
+		facts[n] = summarize(n)
+	}
+
+	// Transitive acquisitions: fixed point of
+	// trans(f) = direct(f) ∪ ⋃ trans(callee) over call/dispatch edges.
+	trans := map[*callgraph.Node]map[types.Object]directAcq{}
+	for n, f := range facts {
+		m := map[types.Object]directAcq{}
+		for obj, a := range f.direct {
+			m[obj] = a
+		}
+		trans[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if !followable(e) {
+					continue
+				}
+				for obj, a := range trans[e.Callee] {
+					if cur, ok := trans[n][obj]; !ok || (cur.op == "RLock" && a.op == "Lock") {
+						trans[n][obj] = a
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the order graph: intraprocedural edges plus, for every
+	// call made with locks held, edges to everything the callee
+	// transitively acquires.
+	var edges []orderEdge
+	for _, n := range g.SortedNodes() {
+		f := facts[n]
+		edges = append(edges, f.edges...)
+		for _, c := range f.calls {
+			for obj, a := range trans[c.callee] {
+				for _, h := range c.held {
+					edges = append(edges, orderEdge{
+						from: h.obj, fromOp: h.op,
+						to: obj, toOp: a.op,
+						node: n, pos: c.pos,
+						chain: witnessChain(g, c.callee, obj, a),
+					})
+				}
+			}
+		}
+	}
+
+	report(pass, edges, labels)
+	return nil
+}
+
+func followable(e callgraph.Edge) bool {
+	return (e.Kind == callgraph.EdgeCall || e.Kind == callgraph.EdgeDispatch) && e.Callee != nil
+}
+
+// witnessChain renders the shortest call path from callee to the
+// function that directly acquires obj.
+func witnessChain(g *callgraph.Graph, callee *callgraph.Node, obj types.Object, a directAcq) string {
+	path := g.PathTo(callee,
+		func(n *callgraph.Node) bool {
+			// trans includes direct acquires; stop at a direct acquirer.
+			_, ok := nodeDirect(g, n, obj)
+			return ok
+		},
+		followable)
+	if path == nil {
+		return callee.Name()
+	}
+	if len(path) == 0 {
+		return callee.Name()
+	}
+	return callgraph.FormatPath(path)
+}
+
+// nodeDirect reports whether n itself acquires obj (recomputed lazily —
+// cheap relative to graph size, and keeps witnessChain self-contained).
+func nodeDirect(g *callgraph.Graph, n *callgraph.Node, obj types.Object) (directAcq, bool) {
+	f := summarize(n)
+	a, ok := f.direct[obj]
+	return a, ok
+}
+
+// summarize walks one function body in source order, tracking the held
+// set exactly like lockguard does (deferred Unlocks hold to return), and
+// produces its lock fact summary. Function literal bodies are walked with
+// a fresh held set.
+func summarize(n *callgraph.Node) *funcLocks {
+	f := &funcLocks{direct: map[types.Object]directAcq{}}
+	if n.Decl == nil || n.Decl.Body == nil {
+		return f
+	}
+	// callEdges indexes the node's resolved outgoing edges by call
+	// position, so the walk can attach held sets to callees.
+	callEdges := map[token.Pos][]*callgraph.Node{}
+	for _, e := range n.Out {
+		if followable(e) {
+			callEdges[e.Pos] = append(callEdges[e.Pos], e.Callee)
+		}
+	}
+	walkLocks(n, n.Decl.Body, nil, callEdges, f)
+	return f
+}
+
+// walkLocks processes one body (function or literal) with its own held
+// stack, appending facts to f.
+func walkLocks(n *callgraph.Node, body *ast.BlockStmt, stack []held, callEdges map[token.Pos][]*callgraph.Node, f *funcLocks) {
+	var nodes []ast.Node
+	ast.Inspect(body, func(x ast.Node) bool {
+		if x == nil {
+			nodes = nodes[:len(nodes)-1]
+			return true
+		}
+		nodes = append(nodes, x)
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// Unknown execution time: fresh held set, then skip in this
+			// walk (Inspect sends no closing nil after false).
+			walkLocks(n, x.Body, nil, callEdges, f)
+			nodes = nodes[:len(nodes)-1]
+			return false
+		case *ast.CallExpr:
+			obj, op := lockOp(n.Pkg.Info, x)
+			if obj != nil {
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range stack {
+						f.edges = append(f.edges, orderEdge{
+							from: h.obj, fromOp: h.op,
+							to: obj, toOp: op,
+							node: n, pos: x.Pos(),
+						})
+					}
+					stack = append(stack, held{obj: obj, op: op})
+					if cur, ok := f.direct[obj]; !ok || (cur.op == "RLock" && op == "Lock") {
+						f.direct[obj] = directAcq{op: op, pos: x.Pos()}
+					}
+				case "Unlock", "RUnlock":
+					// A deferred Unlock releases at return, after every
+					// acquisition in the body: it stays held for the walk.
+					if _, isDefer := parentNode(nodes, 1).(*ast.DeferStmt); !isDefer {
+						stack = release(stack, obj)
+					}
+				}
+				return true
+			}
+			if callees := callEdges[x.Pos()]; len(callees) > 0 && len(stack) > 0 {
+				heldCopy := append([]held{}, stack...)
+				for _, callee := range callees {
+					f.calls = append(f.calls, heldCall{callee: callee, pos: x.Pos(), held: heldCopy})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func parentNode(stack []ast.Node, up int) ast.Node {
+	i := len(stack) - 1 - up
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// release removes the most recent held entry for obj.
+func release(stack []held, obj types.Object) []held {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].obj == obj {
+			return append(stack[:i:i], stack[i+1:]...)
+		}
+	}
+	return stack
+}
+
+// lockOp decodes a call of the shape <lock>.Lock/RLock/Unlock/RUnlock()
+// where the method belongs to package sync, resolving the lock to the
+// variable or field object it lives in (embedded mutexes resolve to the
+// embedded field). obj is nil when the call is not a lock operation.
+func lockOp(info *types.Info, call *ast.CallExpr) (obj types.Object, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return nil, ""
+	}
+	m, ok := selection.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	op = sel.Sel.Name
+	// Promoted method (s.Lock() through an embedded mutex): the lock is
+	// the last field on the selection's index path.
+	if idx := selection.Index(); len(idx) > 1 {
+		t := selection.Recv()
+		var fieldObj types.Object
+		for _, i := range idx[:len(idx)-1] {
+			if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			st, isStruct := t.Underlying().(*types.Struct)
+			if !isStruct || i >= st.NumFields() {
+				return nil, ""
+			}
+			fld := st.Field(i)
+			fieldObj = fld
+			t = fld.Type()
+		}
+		return fieldObj, op
+	}
+	return lockBase(info, sel.X), op
+}
+
+// lockBase resolves the expression the lock method was selected from to
+// its variable or field object.
+func lockBase(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		// Qualified package-level variable pkg.Mu.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockBase(info, e.X)
+		}
+	}
+	return nil
+}
+
+// lockLabels maps every struct field in the loaded packages to a stable
+// human label "pkg.(Type).field"; other lock objects fall back to
+// "pkg.name".
+func lockLabels(g *callgraph.Graph) map[types.Object]string {
+	labels := map[types.Object]string{}
+	for _, pkg := range g.Pkgs {
+		base := pkg.Types.Name()
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				labels[st.Field(i)] = base + ".(" + tn.Name() + ")." + st.Field(i).Name()
+			}
+		}
+	}
+	return labels
+}
+
+func label(labels map[types.Object]string, obj types.Object) string {
+	if l, ok := labels[obj]; ok {
+		return l
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// report finds cycles in the order graph and emits one diagnostic per
+// cycle with every edge's witness.
+func report(pass *callgraph.Pass, edges []orderEdge, labels map[types.Object]string) {
+	// Keep one witness per directed pair, preferring intraprocedural
+	// witnesses (no chain) and earliest position for determinism.
+	type pair struct{ from, to types.Object }
+	best := map[pair]orderEdge{}
+	adj := map[types.Object]map[types.Object]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			// Self-cycle: reacquiring a held lock. A read-read pair is
+			// the one benign shape (still reported by -race under writer
+			// pressure, but not an order inversion).
+			if e.fromOp == "RLock" && e.toOp == "RLock" {
+				continue
+			}
+			pass.Reportf(e.node, e.pos, "lock %s is reacquired while already held (self-deadlock)%s",
+				label(labels, e.from), chainSuffix(e))
+			continue
+		}
+		p := pair{e.from, e.to}
+		if cur, ok := best[p]; !ok || betterWitness(e, cur) {
+			best[p] = e
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[types.Object]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+
+	for _, cycle := range findCycles(adj, labels) {
+		var parts []string
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := best[pair{from, to}]
+			pos := e.node.Pkg.Fset.Position(e.pos)
+			parts = append(parts, fmt.Sprintf("%s → %s in %s at %s%s",
+				label(labels, from), label(labels, to), e.node.Name(), pos, chainSuffix(e)))
+		}
+		first := best[pair{cycle[0], cycle[1%len(cycle)]}]
+		pass.Reportf(first.node, first.pos,
+			"lock-order cycle (potential deadlock): %s", strings.Join(parts, "; "))
+	}
+}
+
+func chainSuffix(e orderEdge) string {
+	if e.chain == "" {
+		return ""
+	}
+	return " (via " + e.chain + ")"
+}
+
+func betterWitness(a, b orderEdge) bool {
+	if (a.chain == "") != (b.chain == "") {
+		return a.chain == ""
+	}
+	return a.pos < b.pos
+}
+
+// findCycles returns every elementary cycle reachable through the
+// strongly connected components of the order graph, each rotated to its
+// smallest label and deduplicated, in deterministic order. Within one
+// SCC, one representative cycle per back edge is reported — enough to
+// name every inversion without enumerating the exponential cycle space.
+func findCycles(adj map[types.Object]map[types.Object]bool, labels map[types.Object]string) [][]types.Object {
+	// Deterministic node order.
+	var nodes []types.Object
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return label(labels, nodes[i]) < label(labels, nodes[j]) })
+
+	var cycles [][]types.Object
+	seen := map[string]bool{}
+	for _, start := range nodes {
+		// DFS from start looking for a path back to start.
+		var path []types.Object
+		onPath := map[types.Object]bool{}
+		var dfs func(n types.Object) bool
+		dfs = func(n types.Object) bool {
+			path = append(path, n)
+			onPath[n] = true
+			var nexts []types.Object
+			for m := range adj[n] {
+				nexts = append(nexts, m)
+			}
+			sort.Slice(nexts, func(i, j int) bool { return label(labels, nexts[i]) < label(labels, nexts[j]) })
+			for _, m := range nexts {
+				if m == start && len(path) > 1 {
+					cyc := append([]types.Object{}, path...)
+					key := cycleKey(cyc, labels)
+					if !seen[key] {
+						seen[key] = true
+						cycles = append(cycles, cyc)
+					}
+					return true
+				}
+				if !onPath[m] && label(labels, m) > label(labels, start) {
+					// Only explore nodes "larger" than start so each
+					// cycle is found once, rooted at its smallest label.
+					if dfs(m) {
+						return true
+					}
+				}
+			}
+			path = path[:len(path)-1]
+			delete(onPath, n)
+			return false
+		}
+		dfs(start)
+	}
+	return cycles
+}
+
+func cycleKey(cycle []types.Object, labels map[types.Object]string) string {
+	parts := make([]string, len(cycle))
+	for i, n := range cycle {
+		parts[i] = label(labels, n)
+	}
+	return strings.Join(parts, "→")
+}

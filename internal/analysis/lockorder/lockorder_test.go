@@ -1,0 +1,37 @@
+package lockorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/callgraph"
+	"imflow/internal/analysis/lockorder"
+)
+
+// TestSeededDeadlocks proves the three seeded shapes are each caught with
+// their witnesses: an intraprocedural inversion (both acquire sites
+// named), an interprocedural inversion (the call chain printed), and a
+// reentrant acquire.
+func TestSeededDeadlocks(t *testing.T) {
+	diags := analyzertest.RunModule(t, []*callgraph.Analyzer{lockorder.Analyzer}, "testdata/deadlock")
+	if len(diags) != 3 {
+		t.Fatalf("deadlock fixture produced %d diagnostics, want 3:\n%v", len(diags), diags)
+	}
+	// The interprocedural witness must print the chain through helper.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "(via deadlock.(T).helper)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic names the interprocedural chain via helper:\n%v", diags)
+	}
+}
+
+// TestConsistentOrderIsSilent proves a single global order, sequential
+// acquisitions, and read-read reentrancy produce no findings.
+func TestConsistentOrderIsSilent(t *testing.T) {
+	analyzertest.RunModule(t, []*callgraph.Analyzer{lockorder.Analyzer}, "testdata/ordered")
+}

@@ -1,0 +1,70 @@
+// Package deadlock is the lockorder golden fixture: two locks acquired in
+// opposite orders (intraprocedurally and through a call chain) and a
+// reentrant acquire, each a seeded deadlock the analyzer must name with
+// its witnesses.
+package deadlock
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// abPath nests b inside a; baPath nests a inside b. Together they form
+// the classic inversion, reported once at the cycle's first witness.
+func (s *S) abPath() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want "lock-order cycle \(potential deadlock\): deadlock.\(S\).a → deadlock.\(S\).b in deadlock.\(S\).abPath at .*deadlock.go:\d+:\d+; deadlock.\(S\).b → deadlock.\(S\).a in deadlock.\(S\).baPath at .*deadlock.go:\d+:\d+"
+	s.b.Unlock()
+}
+
+func (s *S) baPath() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+type T struct {
+	m1 sync.Mutex
+	m2 sync.Mutex
+}
+
+// lockFirst acquires m2 only transitively, through helper: the inversion
+// against reversed is interprocedural and the witness names the chain.
+func (t *T) lockFirst() {
+	t.m1.Lock()
+	defer t.m1.Unlock()
+	t.helper() // want "lock-order cycle \(potential deadlock\): deadlock.\(T\).m1 → deadlock.\(T\).m2 in deadlock.\(T\).lockFirst at .*deadlock.go:\d+:\d+ \(via deadlock.\(T\).helper\); deadlock.\(T\).m2 → deadlock.\(T\).m1 in deadlock.\(T\).reversed at .*deadlock.go:\d+:\d+"
+}
+
+func (t *T) helper() {
+	t.m2.Lock()
+	t.m2.Unlock()
+}
+
+func (t *T) reversed() {
+	t.m2.Lock()
+	defer t.m2.Unlock()
+	t.m1.Lock()
+	t.m1.Unlock()
+}
+
+type R struct {
+	mu sync.Mutex
+}
+
+// reenter calls a method that reacquires the mutex it already holds:
+// sync.Mutex is not reentrant, so this parks forever.
+func (r *R) reenter() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.again() // want "lock deadlock.\(R\).mu is reacquired while already held \(self-deadlock\) \(via deadlock.\(R\).again\)"
+}
+
+func (r *R) again() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}

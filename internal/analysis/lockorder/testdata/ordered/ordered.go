@@ -1,0 +1,52 @@
+// Package ordered is the lockorder clean fixture: one global acquisition
+// order (embedded mutex before b), sequential non-nested acquires, and
+// read-read reentrancy — none of which is a deadlock.
+package ordered
+
+import "sync"
+
+type S struct {
+	sync.Mutex // embedded: promoted Lock calls resolve to this field
+	b          sync.Mutex
+}
+
+func (s *S) nested() {
+	s.Lock()
+	defer s.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) nestedAgain() {
+	s.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.Unlock()
+}
+
+// sequential releases the inner lock before taking the outer one in the
+// reverse order: no overlap, no edge, no cycle.
+func (s *S) sequential() {
+	s.b.Lock()
+	s.b.Unlock()
+	s.Lock()
+	s.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+}
+
+// readTwice holds a read lock across a helper that takes another read
+// lock: benign, and exempt from the self-deadlock rule.
+func (r *R) readTwice() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.readHelper()
+}
+
+func (r *R) readHelper() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 1
+}

@@ -1,11 +1,11 @@
-// Package noalloc implements the analyzer that keeps the repository's
+// Package noalloc implements the analyzers that keep the repository's
 // declared steady-state hot paths free of allocating constructs.
 //
 // A function marked //imflow:noalloc — the ReusableSolver.SolveInto
 // implementations and the serve worker's batch loop — is one the
 // AllocsPerRun gates require to perform zero heap allocations once its
 // pinned buffers have converged. The dynamic gates only measure the
-// configurations the benchmarks happen to run; this analyzer rejects the
+// configurations the benchmarks happen to run; these analyzers reject the
 // allocating constructs *syntactically*, in every build:
 //
 //   - make and new;
@@ -16,34 +16,67 @@
 //     capacity converges; anything else is a fresh backing array in
 //     steady state);
 //   - function literals (closure environments live on the heap);
+//   - go statements (every spawn allocates a goroutine);
 //   - any call into package fmt (formatting allocates);
 //   - string concatenation;
 //   - implicit interface conversions at call sites and returns (boxing
 //     a concrete value allocates).
 //
-// The directive covers only the function body it annotates: callees make
-// their own claims. Cold paths inside a hot function — first-call lazy
-// initialization, error exits that abort the solve — carry a reasoned
-// //lint:ignore noalloc suppression instead of weakening the analyzer.
+// Two analyzers share those rules. Analyzer (per package) checks the body
+// of every annotated function. Transitive (module-level, on the call
+// graph) extends the claim interprocedurally: an annotated function may
+// not *reach* a function containing an allocating construct through any
+// chain of resolved calls, and a violation prints the witness chain. The
+// boundary annotation //imflow:allocok marks a function whose allocations
+// are reviewed as amortized or cold (buffer growth such as
+// flowgraph.Resize, one-shot construction); the transitive walk treats it
+// as a leaf and does not descend. Cold paths inside a hot function —
+// first-call lazy initialization, error exits that abort the solve —
+// carry a reasoned //lint:ignore noalloc suppression instead, which both
+// silences the intra-function finding and prunes the suppressed line's
+// calls from the transitive walk.
 package noalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 
 	"imflow/internal/analysis"
+	"imflow/internal/analysis/callgraph"
 )
 
 // Directive marks a function whose body must not allocate in steady
 // state.
 const Directive = "//imflow:noalloc"
 
-// Analyzer is the noalloc analyzer.
+// DirectiveAllocOK marks a reviewed allocation boundary: a function whose
+// allocations are amortized (capacity growth that converges) or cold
+// (construction, teardown). The transitive analyzer does not descend into
+// it and its own sites are exempt.
+const DirectiveAllocOK = "//imflow:allocok"
+
+// Analyzer is the per-package noalloc analyzer: annotated bodies contain
+// no allocating constructs.
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
 	Doc:  "functions marked //imflow:noalloc may not contain allocating constructs",
 	Run:  run,
+}
+
+// Transitive is the module-level noalloc analyzer: annotated functions
+// may not reach an allocating function through any resolved call chain.
+var Transitive = &callgraph.Analyzer{
+	Name: "noalloc",
+	Doc:  "//imflow:noalloc functions may not reach an allocating function through any call chain (boundary: //imflow:allocok)",
+	Run:  runTransitive,
+}
+
+// site is one allocating construct: the fact unit both analyzers report.
+type site struct {
+	pos token.Pos
+	msg string
 }
 
 func run(pass *analysis.Pass) error {
@@ -53,7 +86,88 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
 				continue
 			}
-			checkFunc(pass, fd)
+			for _, s := range collect(pass.Info, fd) {
+				pass.Reportf(s.pos, "%s in //imflow:noalloc function %s", s.msg, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// runTransitive walks the call graph from every annotated function and
+// reports the shortest witness chain to each reachable allocating
+// function. Chains are cut at //imflow:allocok boundaries and at call
+// sites suppressed with //lint:ignore noalloc (a reviewed cold path).
+func runTransitive(pass *callgraph.Pass) error {
+	g := pass.Graph
+	type facts struct {
+		sites    []site
+		boundary bool
+	}
+	suppressed := map[*analysis.Package]map[string]map[int]bool{}
+	lines := func(pkg *analysis.Package) map[string]map[int]bool {
+		m, ok := suppressed[pkg]
+		if !ok {
+			m = analysis.SuppressedLines(pkg, Analyzer.Name)
+			suppressed[pkg] = m
+		}
+		return m
+	}
+	onSuppressedLine := func(n *callgraph.Node, pos token.Pos) bool {
+		p := n.Pkg.Fset.Position(pos)
+		return lines(n.Pkg)[p.Filename][p.Line]
+	}
+	factOf := map[*callgraph.Node]*facts{}
+	for _, n := range g.Nodes {
+		f := &facts{boundary: analysis.HasDirective(n.Decl.Doc, DirectiveAllocOK)}
+		if !f.boundary {
+			for _, s := range collect(n.Pkg.Info, n.Decl) {
+				if !onSuppressedLine(n, s.pos) {
+					f.sites = append(f.sites, s)
+				}
+			}
+		}
+		factOf[n] = f
+	}
+	follow := func(e callgraph.Edge) bool {
+		switch e.Kind {
+		case callgraph.EdgeSpawn, callgraph.EdgeDynamic:
+			// The go statement itself is an intra-function site; the
+			// spawned work is not the caller's steady-state path.
+			return false
+		}
+		return e.Callee != nil && !factOf[e.Callee].boundary && !onSuppressedLine(e.Caller, e.Pos)
+	}
+	for _, root := range g.SortedNodes() {
+		if !analysis.HasDirective(root.Decl.Doc, Directive) {
+			continue
+		}
+		// Breadth-first: every reachable offender is reported once, with
+		// a shortest chain as the witness.
+		seen := map[*callgraph.Node]bool{root: true}
+		type item struct {
+			node *callgraph.Node
+			via  []callgraph.Edge
+		}
+		queue := []item{{node: root}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range cur.node.Out {
+				if !follow(e) || seen[e.Callee] {
+					continue
+				}
+				seen[e.Callee] = true
+				path := append(append([]callgraph.Edge{}, cur.via...), e)
+				if f := factOf[e.Callee]; len(f.sites) > 0 {
+					s := f.sites[0]
+					pass.Reportf(root, path[0].Pos,
+						"//imflow:noalloc function %s reaches allocating function %s (%s at %s) via %s",
+						root.Name(), e.Callee.Name(), s.msg,
+						pass.Position(e.Callee, s.pos), callgraph.FormatPath(path))
+				}
+				queue = append(queue, item{node: e.Callee, via: path})
+			}
 		}
 	}
 	return nil
@@ -68,9 +182,22 @@ func receiverName(fd *ast.FuncDecl) string {
 	return fd.Recv.List[0].Names[0].Name
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// collect gathers every allocating construct in fd's body — the shared
+// fact summary of the per-package and transitive analyzers.
+func collect(info *types.Info, fd *ast.FuncDecl) []site {
+	var sites []site
+	add := func(pos token.Pos, format string, args ...any) {
+		sites = append(sites, site{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
 	recv := receiverName(fd)
-	results := resultTypes(pass, fd)
+	results := resultTypes(info, fd)
 	var stack []ast.Node
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
@@ -80,43 +207,45 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		stack = append(stack, n)
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, n, recv)
+			checkCall(info, add, n, recv)
 		case *ast.CompositeLit:
-			checkCompositeLit(pass, n, stack)
+			checkCompositeLit(info, add, n, stack)
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates a goroutine")
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure in //imflow:noalloc function %s allocates its environment", fd.Name.Name)
+			add(n.Pos(), "closure allocates its environment")
 			// The literal's body is not part of the hot path: skip it.
 			// Inspect makes no closing nil call after a false return, so
 			// pop the frame here.
 			stack = stack[:len(stack)-1]
 			return false
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass.TypeOf(n)) {
-				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+			if n.Op == token.ADD && isString(typeOf(info, n)) {
+				if tv, ok := info.Types[n]; ok && tv.Value != nil {
 					return true // constant-folded at compile time
 				}
-				pass.Reportf(n.OpPos, "string concatenation in //imflow:noalloc function %s allocates", fd.Name.Name)
+				add(n.OpPos, "string concatenation allocates")
 			}
 		case *ast.ReturnStmt:
 			for i, res := range n.Results {
-				if i < len(results) && boxes(pass, results[i], res) {
-					pass.Reportf(res.Pos(), "return boxes %s into interface %s in //imflow:noalloc function %s",
-						pass.TypeOf(res), results[i], fd.Name.Name)
+				if i < len(results) && boxes(info, results[i], res) {
+					add(res.Pos(), "return boxes %s into interface %s", typeOf(info, res), results[i])
 				}
 			}
 		}
 		return true
 	})
+	return sites
 }
 
 // resultTypes returns the declared result types of fd.
-func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
+func resultTypes(info *types.Info, fd *ast.FuncDecl) []types.Type {
 	var out []types.Type
 	if fd.Type.Results == nil {
 		return out
 	}
 	for _, field := range fd.Type.Results.List {
-		t := pass.TypeOf(field.Type)
+		t := typeOf(info, field.Type)
 		n := len(field.Names)
 		if n == 0 {
 			n = 1
@@ -128,22 +257,22 @@ func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
 	return out
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, recv string) {
-	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+func checkCall(info *types.Info, add func(token.Pos, string, ...any), call *ast.CallExpr, recv string) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		// Conversion T(x): allocates only when T is an interface.
-		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
-			pass.Reportf(call.Pos(), "conversion boxes %s into interface %s", pass.TypeOf(call.Args[0]), tv.Type)
+		if len(call.Args) == 1 && boxes(info, tv.Type, call.Args[0]) {
+			add(call.Pos(), "conversion boxes %s into interface %s", typeOf(info, call.Args[0]), tv.Type)
 		}
 		return
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "make", "new":
-				pass.Reportf(call.Pos(), "%s allocates in //imflow:noalloc function", id.Name)
+				add(call.Pos(), "%s allocates", id.Name)
 			case "append":
 				if len(call.Args) > 0 && !rootedAt(call.Args[0], recv) {
-					pass.Reportf(call.Pos(), "append to a slice not owned by the receiver allocates in steady state")
+					add(call.Pos(), "append to a slice not owned by the receiver allocates")
 				}
 			}
 			return
@@ -151,20 +280,20 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, recv string) {
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if id, ok := sel.X.(*ast.Ident); ok {
-			if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
-				pass.Reportf(call.Pos(), "fmt.%s allocates in //imflow:noalloc function", sel.Sel.Name)
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				add(call.Pos(), "fmt.%s allocates", sel.Sel.Name)
 				return
 			}
 		}
 	}
 	// Implicit interface conversions of the arguments.
-	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
 	for i, arg := range call.Args {
-		if pt := paramType(sig, i, call); boxes(pass, pt, arg) {
-			pass.Reportf(arg.Pos(), "argument boxes %s into interface %s", pass.TypeOf(arg), pt)
+		if pt := paramType(sig, i, call); boxes(info, pt, arg) {
+			add(arg.Pos(), "argument boxes %s into interface %s", typeOf(info, arg), pt)
 		}
 	}
 }
@@ -194,18 +323,18 @@ func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
 
 // checkCompositeLit flags literals that must heap-allocate: slice and map
 // literals, and struct literals whose address is taken.
-func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
-	t := pass.TypeOf(lit)
+func checkCompositeLit(info *types.Info, add func(token.Pos, string, ...any), lit *ast.CompositeLit, stack []ast.Node) {
+	t := typeOf(info, lit)
 	if t == nil {
 		return
 	}
 	switch t.Underlying().(type) {
 	case *types.Slice, *types.Map:
-		pass.Reportf(lit.Pos(), "%s literal allocates its backing store", t)
+		add(lit.Pos(), "%s literal allocates its backing store", t)
 		return
 	}
 	if addr, ok := parent(stack, 1).(*ast.UnaryExpr); ok && addr.Op == token.AND && addr.X == ast.Expr(lit) {
-		pass.Reportf(lit.Pos(), "&%s literal escapes to the heap", t)
+		add(lit.Pos(), "&%s literal escapes to the heap", t)
 	}
 }
 
@@ -250,14 +379,14 @@ func rootedAt(expr ast.Expr, root string) bool {
 
 // boxes reports whether assigning expr to a target of type dst is an
 // interface conversion that must box a concrete value.
-func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
 	if dst == nil || expr == nil {
 		return false
 	}
 	if _, ok := dst.Underlying().(*types.Interface); !ok {
 		return false
 	}
-	src := pass.TypeOf(expr)
+	src := typeOf(info, expr)
 	if src == nil {
 		return false
 	}

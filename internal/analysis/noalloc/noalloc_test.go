@@ -1,9 +1,11 @@
 package noalloc_test
 
 import (
+	"strings"
 	"testing"
 
 	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/callgraph"
 	"imflow/internal/analysis/noalloc"
 )
 
@@ -24,4 +26,26 @@ func TestAllocatingConstructs(t *testing.T) {
 // functions.
 func TestSteadyStateShapes(t *testing.T) {
 	analyzertest.Run(t, noalloc.Analyzer, "testdata/allocok")
+}
+
+// TestTransitiveChains proves the module-level walk: an annotated root
+// reaching an allocating function through direct calls, interface
+// dispatch, or a recursion cycle is reported with the witness chain,
+// while //imflow:allocok boundaries and //lint:ignore'd call sites cut
+// the chain.
+func TestTransitiveChains(t *testing.T) {
+	diags := analyzertest.RunModule(t, []*callgraph.Analyzer{noalloc.Transitive}, "testdata/transitive")
+	if len(diags) != 3 {
+		t.Fatalf("transitive fixture produced %d diagnostics, want 3:\n%v", len(diags), diags)
+	}
+	// The witness chain must be printed in full for the two-hop case.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "via transitive.entry → transitive.mid → transitive.alloc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic prints the full entry → mid → alloc witness chain:\n%v", diags)
+	}
 }

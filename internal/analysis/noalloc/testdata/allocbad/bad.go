@@ -27,7 +27,7 @@ func literals() {
 
 //imflow:noalloc
 func capture(n int) func() int {
-	return func() int { return n } // want "closure in //imflow:noalloc function capture allocates its environment"
+	return func() int { return n } // want "closure allocates its environment in //imflow:noalloc function capture"
 }
 
 //imflow:noalloc
@@ -37,12 +37,12 @@ func report(err error) string {
 
 //imflow:noalloc
 func join(a, b string) string {
-	return a + b // want "string concatenation in //imflow:noalloc function join allocates"
+	return a + b // want "string concatenation allocates in //imflow:noalloc function join"
 }
 
 //imflow:noalloc
 func (s *sink) stray(xs []int, v int) []int {
-	return append(xs, v) // want "append to a slice not owned by the receiver allocates in steady state"
+	return append(xs, v) // want "append to a slice not owned by the receiver allocates"
 }
 
 func consume(v interface{}) { _ = v }

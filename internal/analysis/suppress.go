@@ -32,11 +32,48 @@ type Suppressed struct {
 	Reason string
 }
 
+// SuppressedLines returns, per file name, the source lines a
+// //lint:ignore comment for the named analyzer covers in pkg: the
+// comment's own line (end-of-line form) and the line below (standalone
+// form). Module-level analyzers use it to exclude suppressed sites from
+// fact summaries before call chains are built — a reviewed cold-path
+// claim inside a callee must not resurface as a chain finding at every
+// caller.
+func SuppressedLines(pkg *Package, analyzer string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	mark := func(file string, line int) {
+		if out[file] == nil {
+			out[file] = map[int]bool{}
+		}
+		out[file][line] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, SuppressPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || fields[0] != analyzer {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line)
+				mark(pos.Filename, pos.Line+1)
+			}
+		}
+	}
+	return out
+}
+
 // FilterSuppressed splits diags into the findings that remain active and
 // the ones silenced by a //lint:ignore comment in pkgs. Malformed
-// suppressions (missing analyzer or reason) are appended to the active
-// findings so they can never silently disable a check.
-func FilterSuppressed(pkgs []*Package, diags []Diagnostic) (active []Diagnostic, suppressed []Suppressed) {
+// suppressions (missing analyzer or reason, or — when known is non-nil —
+// an analyzer name that is not in the roster, i.e. a typo that would
+// silence nothing forever) are appended to the active findings so they
+// can never silently disable a check.
+func FilterSuppressed(pkgs []*Package, diags []Diagnostic, known map[string]bool) (active []Diagnostic, suppressed []Suppressed) {
 	type key struct {
 		file     string
 		line     int
@@ -62,6 +99,14 @@ func FilterSuppressed(pkgs []*Package, diags []Diagnostic) (active []Diagnostic,
 						})
 						continue
 					}
+					if known != nil && !known[fields[0]] {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "suppress",
+							Pos:      pos,
+							Message:  fmt.Sprintf("suppression names unknown analyzer %q (it silences nothing)", fields[0]),
+						})
+						continue
+					}
 					s := &Suppression{Pos: pos, Analyzer: fields[0], Reason: strings.Join(fields[1:], " ")}
 					index[key{pos.Filename, pos.Line, s.Analyzer}] = s
 					// Standalone comment lines cover the next source line.
@@ -78,6 +123,6 @@ func FilterSuppressed(pkgs []*Package, diags []Diagnostic) (active []Diagnostic,
 		active = append(active, d)
 	}
 	active = append(active, malformed...)
-	sortDiagnostics(active)
+	SortDiagnostics(active)
 	return active, suppressed
 }

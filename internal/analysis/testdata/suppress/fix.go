@@ -28,3 +28,11 @@ func reasonless(a, b cost.Micros) cost.Micros {
 func naked(a, b cost.Micros) cost.Micros {
 	return a + b
 }
+
+// typod names an analyzer that is not in the roster: the comment
+// silences nothing (the finding below stays active) and is itself a
+// malformed-suppression finding.
+func typod(a, b cost.Micros) cost.Micros {
+	//lint:ignore satarith-typo fixture: unknown analyzer name
+	return a + b
+}

@@ -31,6 +31,9 @@ type Graph struct {
 }
 
 // New returns an empty graph over n vertices.
+// Construction allocates by design; callers hoist it out of hot loops.
+//
+//imflow:allocok
 func New(n int) *Graph {
 	g := &Graph{N: n, Head: make([]int32, n)}
 	for i := range g.Head {
@@ -50,6 +53,9 @@ func (g *Graph) Reset() {
 // with AddEdge this is the in-place rebuild path of the integrated
 // retrieval solvers: after the first solve on a given problem shape, a
 // Resize + AddEdge sweep performs no allocations.
+// Amortized: growth doubles, so per-edge cost is O(1) over a run.
+//
+//imflow:allocok
 func (g *Graph) Resize(n int) {
 	if n < 0 {
 		panic("flowgraph: negative vertex count")
@@ -74,6 +80,9 @@ func (g *Graph) M() int { return len(g.To) }
 
 // AddEdge adds a directed edge u->v with the given capacity and returns the
 // forward arc's index a; the reverse arc is a^1 (a is always even).
+// Allocates only on the invariant-violation panic path.
+//
+//imflow:allocok
 func (g *Graph) AddEdge(u, v int, capacity int64) int {
 	if u < 0 || u >= g.N || v < 0 || v >= g.N {
 		panic(fmt.Sprintf("flowgraph: edge (%d,%d) outside %d vertices", u, v, g.N))
@@ -96,6 +105,9 @@ func (g *Graph) Residual(a int) int64 { return g.Cap[a] - g.Flow[a] }
 
 // Push sends delta units of flow over arc a (and -delta over its dual).
 // It panics if the push exceeds the residual capacity.
+// Allocates only on the invariant-violation panic path.
+//
+//imflow:allocok
 func (g *Graph) Push(a int, delta int64) {
 	if delta > g.Residual(a) {
 		panic(fmt.Sprintf("flowgraph: push %d over arc %d with residual %d", delta, a, g.Residual(a)))
@@ -125,6 +137,9 @@ func (g *Graph) ZeroFlows() {
 // SnapshotFlows copies the current flow values into dst (reallocating if
 // needed) and returns it. Used by the binary-capacity-scaling algorithm's
 // StoreFlows.
+// Allocates only when dst needs growing; steady-state reuse is free.
+//
+//imflow:allocok
 func (g *Graph) SnapshotFlows(dst []int64) []int64 {
 	if cap(dst) < len(g.Flow) {
 		dst = make([]int64, len(g.Flow))

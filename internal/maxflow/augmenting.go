@@ -24,6 +24,9 @@ type dfsFrame struct {
 }
 
 // NewFordFulkerson returns an engine bound to g.
+// Construction allocates by design; callers hoist it out of hot loops.
+//
+//imflow:allocok
 func NewFordFulkerson(g *flowgraph.Graph) *FordFulkerson {
 	return &FordFulkerson{g: g, visited: make([]int32, g.N)}
 }
@@ -36,6 +39,9 @@ func (f *FordFulkerson) Metrics() *Metrics { return &f.metrics }
 
 // Reset implements Engine: re-sync the visitation array with the (possibly
 // rebuilt) graph and restart the stamp sequence.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (f *FordFulkerson) Reset() {
 	if cap(f.visited) < f.g.N {
 		f.visited = make([]int32, f.g.N)
@@ -70,6 +76,9 @@ func (f *FordFulkerson) AugmentFrom(from, t int) int64 {
 // the bucket's source arc: excluding the source keeps the DFS from
 // "undoing" that arc and re-routing the unit through a different bucket's
 // source arc. Pass avoid = -1 to exclude nothing.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (f *FordFulkerson) AugmentFromAvoiding(from, t, avoid int) int64 {
 	if len(f.visited) < f.g.N {
 		f.visited = make([]int32, f.g.N)
@@ -159,6 +168,9 @@ func (e *EdmondsKarp) Name() string { return "edmonds-karp" }
 func (e *EdmondsKarp) Metrics() *Metrics { return &e.metrics }
 
 // Reset implements Engine: re-sync the parent array with the graph.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (e *EdmondsKarp) Reset() {
 	if cap(e.parent) < e.g.N {
 		e.parent = make([]int32, e.g.N)
@@ -168,6 +180,9 @@ func (e *EdmondsKarp) Reset() {
 }
 
 // Run augments the current flow to a maximum flow and returns its value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (e *EdmondsKarp) Run(s, t int) int64 {
 	g := e.g
 	if len(e.parent) < g.N {

@@ -27,6 +27,9 @@ func (d *Dinic) Metrics() *Metrics { return &d.metrics }
 
 // Reset implements Engine: re-sync the level/iterator arrays with the
 // (possibly rebuilt) graph.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (d *Dinic) Reset() {
 	if cap(d.level) < d.g.N {
 		d.level = make([]int32, d.g.N)
@@ -38,6 +41,9 @@ func (d *Dinic) Reset() {
 }
 
 // Run augments the current flow to a maximum flow and returns its value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (d *Dinic) Run(s, t int) int64 {
 	g := d.g
 	if len(d.level) < g.N {

@@ -53,12 +53,18 @@ func (hl *HighestLabel) Metrics() *Metrics { return &hl.metrics }
 
 // Reset implements Engine: re-sync scratch with the (possibly rebuilt)
 // graph. Run re-derives all per-run state, so only sizing matters here.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (hl *HighestLabel) Reset() {
 	hl.ensureSize(hl.g.N)
 }
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (hl *HighestLabel) Run(s, t int) int64 {
 	g := hl.g
 	n := g.N

@@ -114,7 +114,10 @@ func (s *Solver) Name() string { return s.name }
 // (possibly rebuilt) graph. Run re-derives all per-run state. Reset runs
 // strictly between Runs, with no workers live.
 //
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
 //imflow:quiescent
+//imflow:allocok
 func (s *Solver) Reset() {
 	if cap(s.excess) < s.g.N {
 		s.excess = make([]int64, s.g.N)
@@ -139,7 +142,10 @@ func (s *Solver) Threads() int { return s.threads }
 // the preparation before any worker goroutine starts and the write-back
 // after wg.Wait has quiesced them all.
 //
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
 //imflow:quiescent
+//imflow:allocok
 func (s *Solver) Run(src, sink int) int64 {
 	g := s.g
 	n := g.N

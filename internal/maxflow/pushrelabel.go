@@ -63,6 +63,9 @@ func (pr *PushRelabel) Metrics() *Metrics { return &pr.metrics }
 
 // Reset implements Engine: re-sync scratch with the (possibly rebuilt)
 // graph. Run re-derives all per-run state, so only sizing matters here.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (pr *PushRelabel) Reset() {
 	pr.ensureSize(pr.g.N)
 	pr.queue = pr.queue[:0]
@@ -70,6 +73,9 @@ func (pr *PushRelabel) Reset() {
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (pr *PushRelabel) Run(s, t int) int64 {
 	g := pr.g
 	n := g.N

@@ -35,6 +35,9 @@ func (rt *RelabelToFront) Metrics() *Metrics { return &rt.metrics }
 
 // Reset implements Engine: re-sync scratch with the (possibly rebuilt)
 // graph. Run re-derives all per-run state, so only sizing matters here.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (rt *RelabelToFront) Reset() {
 	if cap(rt.height) < rt.g.N {
 		rt.height = make([]int32, rt.g.N)
@@ -49,6 +52,9 @@ func (rt *RelabelToFront) Reset() {
 
 // Run augments the current flow to a maximum s-t flow and returns its
 // value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (rt *RelabelToFront) Run(s, t int) int64 {
 	g := rt.g
 	n := g.N
@@ -158,6 +164,9 @@ func (e *ScalingEdmondsKarp) Name() string { return "edmonds-karp-scaling" }
 func (e *ScalingEdmondsKarp) Metrics() *Metrics { return &e.metrics }
 
 // Reset implements Engine: re-sync the parent array with the graph.
+// Amortized: (re)sizes engine-owned scratch that is reused across solves.
+//
+//imflow:allocok
 func (e *ScalingEdmondsKarp) Reset() {
 	if cap(e.parent) < e.g.N {
 		e.parent = make([]int32, e.g.N)
@@ -167,6 +176,9 @@ func (e *ScalingEdmondsKarp) Reset() {
 }
 
 // Run augments the current flow to a maximum flow and returns its value.
+// Per-solve scratch is engine-owned and amortized across reuse.
+//
+//imflow:allocok
 func (e *ScalingEdmondsKarp) Run(s, t int) int64 {
 	g := e.g
 	if len(e.parent) < g.N {

@@ -67,6 +67,9 @@ func NewDiskMask(numDisks int) *DiskMask {
 
 // Reset re-dimensions the mask to numDisks disks, all healthy, reusing the
 // backing array when large enough.
+// Amortized: reallocates only when the disk count grows.
+//
+//imflow:allocok
 func (m *DiskMask) Reset(numDisks int) {
 	if cap(m.failed) < numDisks {
 		m.failed = make([]bool, numDisks)
@@ -79,6 +82,9 @@ func (m *DiskMask) Reset(numDisks int) {
 }
 
 // MarkFailed marks a disk failed and reports whether its state changed.
+// Allocates only on the out-of-range panic path.
+//
+//imflow:allocok
 func (m *DiskMask) MarkFailed(disk int) bool {
 	if disk < 0 || disk >= len(m.failed) {
 		panic(fmt.Sprintf("retrieval: DiskMask.MarkFailed(%d) outside %d disks", disk, len(m.failed)))
@@ -94,6 +100,9 @@ func (m *DiskMask) MarkFailed(disk int) bool {
 // Recover marks a disk healthy again and reports whether its state
 // changed. Note that the integrated solvers cannot *lower* a conserved
 // state's capacities, so recovery always implies a fresh solve.
+// Allocates only on the out-of-range panic path.
+//
+//imflow:allocok
 func (m *DiskMask) Recover(disk int) bool {
 	if disk < 0 || disk >= len(m.failed) {
 		panic(fmt.Sprintf("retrieval: DiskMask.Recover(%d) outside %d disks", disk, len(m.failed)))
@@ -200,6 +209,9 @@ const (
 // flow routed through the disk, pin its sink capacity at zero, and drop
 // newly stranded buckets from the flow target. It reports how the caller
 // must re-solve.
+// Runs at fault events, not per request; error exits allocate reports.
+//
+//imflow:allocok
 func (net *network) beginFailure(disk int) (failAction, error) {
 	if net.prob == nil {
 		return failNoop, errors.New("retrieval: MarkFailed before any solve")
@@ -299,6 +311,10 @@ func (net *network) maskFromSlots(m *DiskMask) *DiskMask {
 // finishDegraded extracts the (possibly partial) schedule of the current
 // flow into res and returns nil for a full retrieval or an
 // *InfeasibleError naming the dead buckets for a partial one.
+// The degraded exit allocates its partial-schedule report; failover is
+// off the steady-state path.
+//
+//imflow:allocok
 func (net *network) finishDegraded(res *Result) error {
 	if res.Schedule == nil {
 		res.Schedule = &Schedule{}
@@ -326,6 +342,7 @@ func resumePR(net *network, engine maxflow.Engine, st *incrementState, res *Resu
 	maxflow.Audit(net.g, net.s, net.t)
 	for flow < target {
 		if st.incrementMinCost(net) == cost.Max {
+			//lint:ignore noalloc infeasible-failover exit; allocates only when the retrieval is already failing
 			return fmt.Errorf("retrieval: failover flow %d short of %d with all disk edges saturated: %w",
 				flow, target, ErrInfeasible)
 		}
@@ -350,6 +367,7 @@ func resumeFF(net *network, ff *maxflow.FordFulkerson, st *incrementState, res *
 		g.Push(net.srcArc[i], 1)
 		for ff.AugmentFromAvoiding(net.bucketVertex(i), net.t, net.s) == 0 {
 			if st.incrementMinCost(net) == cost.Max {
+				//lint:ignore noalloc infeasible-failover exit; allocates only when the retrieval is already failing
 				return fmt.Errorf("retrieval: failover bucket %d unroutable with all disk edges saturated: %w",
 					i, ErrInfeasible)
 			}

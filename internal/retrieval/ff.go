@@ -165,6 +165,9 @@ func (s *FFIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) err
 }
 
 // requireHomogeneous rejects problems whose disks differ in any parameter.
+// Allocates only on the misconfiguration exit.
+//
+//imflow:allocok
 func requireHomogeneous(p *Problem) error {
 	if len(p.Disks) == 0 {
 		return fmt.Errorf("retrieval: no disks")

@@ -46,6 +46,9 @@ type Problem struct {
 func (p *Problem) QuerySize() int { return len(p.Replicas) }
 
 // Validate checks that the problem is well-formed.
+// Allocates only on the validation-failure exit; the healthy path is free.
+//
+//imflow:allocok
 func (p *Problem) Validate() error {
 	if len(p.Replicas) == 0 {
 		return fmt.Errorf("retrieval: empty query")
@@ -274,6 +277,9 @@ type network struct {
 
 // grow returns s resized to n elements, reallocating only when the backing
 // array is too small. Contents are unspecified; callers overwrite.
+// Amortized: reallocates only when the backing array must grow.
+//
+//imflow:allocok
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
@@ -303,6 +309,9 @@ func (net *network) rebuild(p *Problem) {
 // masked, and buckets whose every replica is failed get a zero-capacity
 // source arc so they drop out of the flow target. A nil mask builds the
 // ordinary healthy network.
+// Amortized per the doc above: steady-state rebuilds reuse every array.
+//
+//imflow:allocok
 func (net *network) rebuildMasked(p *Problem, mask *DiskMask) {
 	q := len(p.Replicas)
 	// First pass: discover participating disks. Global disk IDs are dense
@@ -433,6 +442,7 @@ func (net *network) extractScheduleInto(p *Problem, s *Schedule) error {
 			if a%2 == 0 && g.Flow[a] > 0 { // forward bucket->disk arc carrying flow
 				k := int(g.To[a]) - net.q - 1
 				if k < 0 || k >= len(net.diskIDs) {
+					//lint:ignore noalloc corrupt-flow invariant exit; never taken on a maximal flow
 					return fmt.Errorf("retrieval: bucket %d flows to non-disk vertex %d", i, g.To[a])
 				}
 				assigned = net.diskIDs[k]
@@ -440,6 +450,7 @@ func (net *network) extractScheduleInto(p *Problem, s *Schedule) error {
 			}
 		}
 		if assigned < 0 {
+			//lint:ignore noalloc corrupt-flow invariant exit; never taken on a maximal flow
 			return fmt.Errorf("retrieval: bucket %d unassigned (flow not maximal?)", i)
 		}
 		s.Assignment[i] = assigned
@@ -499,6 +510,7 @@ func (st *incrementState) incrementMinCost(net *network) cost.Micros {
 		if net.inDeg[k] <= net.caps[k] {
 			continue // retire: the disk cannot serve more than its replicas
 		}
+		//lint:ignore noalloc appends into st.active's own backing array; the live set only shrinks
 		live = append(live, k)
 		if c := net.params[k].Finish(net.caps[k] + 1); c < minCost {
 			minCost = c
