@@ -55,8 +55,8 @@ audit:
 ## failover re-solve carries a max-flow certificate.
 fault-stress:
 	$(GO) test -race -count=3 ./internal/fault/
-	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe' ./internal/sim/ ./internal/serve/
-	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe' ./internal/sim/ ./internal/serve/ ./internal/integration/
+	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe|Warm|Cache' ./internal/sim/ ./internal/serve/ ./internal/retrieval/
+	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe|Warm|Cache' ./internal/sim/ ./internal/serve/ ./internal/integration/ ./internal/retrieval/
 
 ## bench: regenerate BENCH_retrieval.json — the steady-state integrated
 ## solve loop (ns/op, allocs/op, work counters) across every engine on the

@@ -3,7 +3,9 @@
 // against the committed baselines and exits non-zero when a sequential
 // engine got >25% slower, any sequential engine's steady-state allocs/op
 // regressed, a serving configuration lost throughput, or the server's
-// deterministic mode stopped matching sequential replay.
+// deterministic mode stopped matching sequential replay. Entries present
+// in only one of the two documents (new modes or cells, narrower smoke
+// sweeps) are printed as INFO lines and never fail the gate.
 //
 // Usage:
 //
@@ -35,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	opt := bench.DiffOptions{MaxRatio: *maxRatio, TimingChecks: !*allocsOnly}
-	var violations []string
+	var violations, infos []string
 	checked := 0
 
 	if *newRet != "" {
@@ -45,7 +47,8 @@ func main() {
 		var oldR, newR bench.RetrievalReport
 		readJSON(*oldRet, &oldR)
 		readJSON(*newRet, &newR)
-		violations = append(violations, bench.DiffRetrieval(&oldR, &newR, opt)...)
+		v, i := bench.DiffRetrieval(&oldR, &newR, opt)
+		violations, infos = append(violations, v...), append(infos, i...)
 		checked++
 	}
 	if *newServe != "" {
@@ -55,7 +58,8 @@ func main() {
 		var oldS, newS bench.ServeReport
 		readJSON(*oldServe, &oldS)
 		readJSON(*newServe, &newS)
-		violations = append(violations, bench.DiffServe(&oldS, &newS, opt)...)
+		v, i := bench.DiffServe(&oldS, &newS, opt)
+		violations, infos = append(violations, v...), append(infos, i...)
 		checked++
 	}
 	if *newFault != "" {
@@ -65,13 +69,19 @@ func main() {
 		var oldF, newF bench.FaultReport
 		readJSON(*oldFault, &oldF)
 		readJSON(*newFault, &newF)
-		violations = append(violations, bench.DiffFault(&oldF, &newF, opt)...)
+		v, i := bench.DiffFault(&oldF, &newF, opt)
+		violations, infos = append(violations, v...), append(infos, i...)
 		checked++
 	}
 	if checked == 0 {
 		fatalf("nothing to diff: pass -old/-new, -old-serve/-new-serve, and/or -old-fault/-new-fault")
 	}
 
+	// Entries present in only one document (new modes, narrower smoke
+	// sweeps, renamed cells) are reported but never fail the gate.
+	for _, i := range infos {
+		fmt.Fprintf(os.Stderr, "INFO: %s\n", i)
+	}
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
 	}

@@ -93,8 +93,8 @@ func main() {
 
 	// Terminal summary: one line per record, engines side by side.
 	for _, r := range report.Records {
-		fmt.Fprintf(os.Stderr, "%-28s %-22s %10.0f ns/op %8.1f allocs/op %6.1f runs/op %8.1f incr/op\n",
-			r.Cell, r.Solver, r.NsPerOp, r.AllocsPerOp, r.MaxflowRuns, r.Increments)
+		fmt.Fprintf(os.Stderr, "%-28s %-22s %10.0f ns/op %8.1f allocs/op %6.1f runs/op %8.1f incr/op %10.0f warm ns/op %5.2fx warm\n",
+			r.Cell, r.Solver, r.NsPerOp, r.AllocsPerOp, r.MaxflowRuns, r.Increments, r.WarmNsPerOp, r.WarmSpeedup)
 	}
 }
 

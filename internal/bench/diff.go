@@ -38,77 +38,110 @@ func sequentialSolver(name string) bool {
 	return !strings.Contains(name, "parallel")
 }
 
-// DiffRetrieval compares a fresh BENCH_retrieval.json against the
-// committed baseline and returns one message per violated gate. Records
-// are matched on (cell, solver); fresh records without a committed
-// counterpart still face the absolute zero-allocation gate, which is what
-// the CI smoke configuration (whose cells are smaller than the committed
-// grid) relies on.
-func DiffRetrieval(old, fresh *RetrievalReport, o DiffOptions) []string {
-	o = o.withDefaults()
-	baseline := make(map[string]RetrievalRecord, len(old.Records))
-	for _, r := range old.Records {
-		baseline[r.Cell+"|"+r.Solver] = r
-	}
+// unmatchedBaselines reports, informationally, committed entries no fresh
+// record matched — a renamed cell or a narrower fresh sweep is worth a
+// note, never a failure (the smoke configurations run a strict subset of
+// the committed grid by design).
+func unmatchedBaselines(report string, baseline map[string]bool) []string {
 	var out []string
-	for _, r := range fresh.Records {
-		if !sequentialSolver(r.Solver) {
-			continue
-		}
-		if r.AllocsPerOp > o.AllocEpsilon {
-			out = append(out, fmt.Sprintf("%s %s: %.3f allocs/op breaks the sequential steady-state zero-allocation guarantee",
-				r.Cell, r.Solver, r.AllocsPerOp))
-		}
-		base, ok := baseline[r.Cell+"|"+r.Solver]
-		if !ok {
-			continue
-		}
-		if r.AllocsPerOp > base.AllocsPerOp+o.AllocEpsilon {
-			out = append(out, fmt.Sprintf("%s %s: allocs/op %.3f, committed %.3f",
-				r.Cell, r.Solver, r.AllocsPerOp, base.AllocsPerOp))
-		}
-		if o.TimingChecks && r.NsPerOp > base.NsPerOp*o.MaxRatio {
-			out = append(out, fmt.Sprintf("%s %s: %.0f ns/op, committed %.0f (> %.2fx)",
-				r.Cell, r.Solver, r.NsPerOp, base.NsPerOp, o.MaxRatio))
+	for key, matched := range baseline {
+		if !matched {
+			out = append(out, fmt.Sprintf("%s: committed entry %q has no fresh counterpart", report, key))
 		}
 	}
 	return out
 }
 
+// DiffRetrieval compares a fresh BENCH_retrieval.json against the
+// committed baseline. Records are matched on (cell, solver); entries
+// present in only one of the two documents are reported informationally,
+// not as violations, so schema growth (new modes, new cells) and narrower
+// smoke sweeps never fail the gate. Fresh records without a committed
+// counterpart still face the absolute zero-allocation gate, which is what
+// the CI smoke configuration (whose cells are smaller than the committed
+// grid) relies on.
+func DiffRetrieval(old, fresh *RetrievalReport, o DiffOptions) (violations, infos []string) {
+	o = o.withDefaults()
+	baseline := make(map[string]RetrievalRecord, len(old.Records))
+	matched := make(map[string]bool, len(old.Records))
+	for _, r := range old.Records {
+		baseline[r.Cell+"|"+r.Solver] = r
+		matched[r.Cell+"|"+r.Solver] = false
+	}
+	for _, r := range fresh.Records {
+		sequential := sequentialSolver(r.Solver)
+		if sequential && r.AllocsPerOp > o.AllocEpsilon {
+			violations = append(violations, fmt.Sprintf("%s %s: %.3f allocs/op breaks the sequential steady-state zero-allocation guarantee",
+				r.Cell, r.Solver, r.AllocsPerOp))
+		}
+		key := r.Cell + "|" + r.Solver
+		base, ok := baseline[key]
+		if !ok {
+			infos = append(infos, fmt.Sprintf("retrieval: fresh entry %q has no committed baseline", key))
+			continue
+		}
+		matched[key] = true
+		if !sequential {
+			continue // exempt from the relative gates, but still a match
+		}
+		if r.AllocsPerOp > base.AllocsPerOp+o.AllocEpsilon {
+			violations = append(violations, fmt.Sprintf("%s %s: allocs/op %.3f, committed %.3f",
+				r.Cell, r.Solver, r.AllocsPerOp, base.AllocsPerOp))
+		}
+		if o.TimingChecks {
+			if base.NsPerOp <= 0 {
+				infos = append(infos, fmt.Sprintf("retrieval: committed entry %q has no timing (ns/op %.0f); timing gate skipped", key, base.NsPerOp))
+			} else if r.NsPerOp > base.NsPerOp*o.MaxRatio {
+				violations = append(violations, fmt.Sprintf("%s %s: %.0f ns/op, committed %.0f (> %.2fx)",
+					r.Cell, r.Solver, r.NsPerOp, base.NsPerOp, o.MaxRatio))
+			}
+		}
+	}
+	return violations, append(infos, unmatchedBaselines("retrieval", matched)...)
+}
+
 // DiffServe compares a fresh BENCH_serve.json against the committed
 // baseline. Records are matched on (cell, mode, workers); the
 // deterministic replay cross-check is re-asserted on every fresh replay
-// record regardless of a baseline match.
-func DiffServe(old, fresh *ServeReport, o DiffOptions) []string {
+// record regardless of a baseline match, while unmatched entries on either
+// side are informational only.
+func DiffServe(old, fresh *ServeReport, o DiffOptions) (violations, infos []string) {
 	o = o.withDefaults()
 	// Serving passes amortize server and solver construction over the
 	// stream, so their allocation budget is per-pass noise, not the
 	// strict per-op epsilon.
 	const serveAllocSlack = 2.0
 	baseline := make(map[string]ServeRecord, len(old.Records))
+	matched := make(map[string]bool, len(old.Records))
 	key := func(r ServeRecord) string {
 		return fmt.Sprintf("%s|%s|%d", r.Cell, r.Mode, r.Workers)
 	}
 	for _, r := range old.Records {
 		baseline[key(r)] = r
+		matched[key(r)] = false
 	}
-	var out []string
 	for _, r := range fresh.Records {
 		if r.Mode == "replay" && !r.DeterministicMatch {
-			out = append(out, fmt.Sprintf("%s: deterministic single-shard serve no longer matches sequential replay", r.Cell))
+			violations = append(violations, fmt.Sprintf("%s: deterministic single-shard serve no longer matches sequential replay", r.Cell))
 		}
 		base, ok := baseline[key(r)]
 		if !ok {
+			infos = append(infos, fmt.Sprintf("serve: fresh entry %q has no committed baseline", key(r)))
 			continue
 		}
+		matched[key(r)] = true
 		if r.AllocsPerOp > base.AllocsPerOp+serveAllocSlack {
-			out = append(out, fmt.Sprintf("%s %s workers=%d: allocs/op %.2f, committed %.2f",
+			violations = append(violations, fmt.Sprintf("%s %s workers=%d: allocs/op %.2f, committed %.2f",
 				r.Cell, r.Mode, r.Workers, r.AllocsPerOp, base.AllocsPerOp))
 		}
-		if o.TimingChecks && r.QPS < base.QPS/o.MaxRatio {
-			out = append(out, fmt.Sprintf("%s %s workers=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
-				r.Cell, r.Mode, r.Workers, r.QPS, base.QPS, o.MaxRatio))
+		if o.TimingChecks {
+			if base.QPS <= 0 {
+				infos = append(infos, fmt.Sprintf("serve: committed entry %q has no throughput (%.0f queries/sec); timing gate skipped", key(r), base.QPS))
+			} else if r.QPS < base.QPS/o.MaxRatio {
+				violations = append(violations, fmt.Sprintf("%s %s workers=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
+					r.Cell, r.Mode, r.Workers, r.QPS, base.QPS, o.MaxRatio))
+			}
 		}
 	}
-	return out
+	return violations, append(infos, unmatchedBaselines("serve", matched)...)
 }

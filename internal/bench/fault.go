@@ -248,8 +248,9 @@ func measureFailover(sys *storage.System, problems []*retrieval.Problem, k int) 
 	if conservedNs > 0 {
 		rec.SpeedupVsFresh = float64(freshNs) / float64(conservedNs)
 	}
-	rec.FailoverP50Us = stats.Percentile(incidentUs, 50)
-	rec.FailoverP99Us = stats.Percentile(incidentUs, 99)
+	pcts := stats.Percentiles(incidentUs, 50, 99)
+	rec.FailoverP50Us = pcts[0]
+	rec.FailoverP99Us = pcts[1]
 	return rec, nil
 }
 
@@ -293,8 +294,9 @@ func measureServeDegraded(sys *storage.System, stream []sim.Query, failed int, o
 		rec.QPS = float64(rec.Queries) / elapsed.Seconds()
 	}
 	if len(latencies) > 0 {
-		rec.P50LatencyUs = stats.Percentile(latencies, 50)
-		rec.P99LatencyUs = stats.Percentile(latencies, 99)
+		pcts := stats.Percentiles(latencies, 50, 99)
+		rec.P50LatencyUs = pcts[0]
+		rec.P99LatencyUs = pcts[1]
 	}
 	fs := srv.FaultStats()
 	rec.DegradedQueries = fs.DegradedQueries
@@ -303,46 +305,61 @@ func measureServeDegraded(sys *storage.System, stream []sim.Query, failed int, o
 }
 
 // DiffFault compares a fresh BENCH_fault.json against the committed
-// baseline. Records are matched on (cell, mode, failed disks, workers).
-// Machine-independent gates (always on): a degraded pass with failed
-// disks must count every query as degraded, and every failover incident
-// must have been measured. Timing gates (disabled by -allocs-only):
-// conserved repair latency and degraded throughput within MaxRatio of the
-// baseline.
-func DiffFault(old, fresh *FaultReport, o DiffOptions) []string {
+// baseline. Records are matched on (cell, mode, failed disks, workers);
+// entries present in only one document are informational. Machine-
+// independent gates (always on): a degraded pass with failed disks must
+// count every query as degraded, and every failover incident must have
+// been measured. Timing gates (disabled by -allocs-only): conserved repair
+// latency and degraded throughput within MaxRatio of the baseline, skipped
+// with a note when the committed entry carries no usable timing.
+func DiffFault(old, fresh *FaultReport, o DiffOptions) (violations, infos []string) {
 	o = o.withDefaults()
 	baseline := make(map[string]FaultRecord, len(old.Records))
+	matched := make(map[string]bool, len(old.Records))
 	key := func(r FaultRecord) string {
 		return fmt.Sprintf("%s|%s|%d|%d", r.Cell, r.Mode, r.FailedDisks, r.Workers)
 	}
 	for _, r := range old.Records {
 		baseline[key(r)] = r
+		matched[key(r)] = false
 	}
-	var out []string
 	for _, r := range fresh.Records {
 		switch r.Mode {
 		case "failover":
 			if r.ConservedNsPerOp <= 0 || r.FreshNsPerOp <= 0 {
-				out = append(out, fmt.Sprintf("%s failover failed=%d: empty measurement", r.Cell, r.FailedDisks))
+				violations = append(violations, fmt.Sprintf("%s failover failed=%d: empty measurement", r.Cell, r.FailedDisks))
 			}
 		case "serve-degraded":
 			if r.FailedDisks > 0 && r.DegradedQueries != int64(r.Queries) {
-				out = append(out, fmt.Sprintf("%s serve-degraded failed=%d: %d/%d queries counted degraded",
+				violations = append(violations, fmt.Sprintf("%s serve-degraded failed=%d: %d/%d queries counted degraded",
 					r.Cell, r.FailedDisks, r.DegradedQueries, r.Queries))
 			}
 		}
 		base, ok := baseline[key(r)]
-		if !ok || !o.TimingChecks {
+		if !ok {
+			infos = append(infos, fmt.Sprintf("fault: fresh entry %q has no committed baseline", key(r)))
 			continue
 		}
-		if r.Mode == "failover" && r.ConservedNsPerOp > base.ConservedNsPerOp*o.MaxRatio {
-			out = append(out, fmt.Sprintf("%s failover failed=%d: conserved repair %.0f ns/op, committed %.0f (> %.2fx)",
-				r.Cell, r.FailedDisks, r.ConservedNsPerOp, base.ConservedNsPerOp, o.MaxRatio))
+		matched[key(r)] = true
+		if !o.TimingChecks {
+			continue
 		}
-		if r.Mode == "serve-degraded" && r.QPS < base.QPS/o.MaxRatio {
-			out = append(out, fmt.Sprintf("%s serve-degraded failed=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
-				r.Cell, r.FailedDisks, r.QPS, base.QPS, o.MaxRatio))
+		if r.Mode == "failover" {
+			if base.ConservedNsPerOp <= 0 {
+				infos = append(infos, fmt.Sprintf("fault: committed entry %q has no repair timing; timing gate skipped", key(r)))
+			} else if r.ConservedNsPerOp > base.ConservedNsPerOp*o.MaxRatio {
+				violations = append(violations, fmt.Sprintf("%s failover failed=%d: conserved repair %.0f ns/op, committed %.0f (> %.2fx)",
+					r.Cell, r.FailedDisks, r.ConservedNsPerOp, base.ConservedNsPerOp, o.MaxRatio))
+			}
+		}
+		if r.Mode == "serve-degraded" {
+			if base.QPS <= 0 {
+				infos = append(infos, fmt.Sprintf("fault: committed entry %q has no throughput; timing gate skipped", key(r)))
+			} else if r.QPS < base.QPS/o.MaxRatio {
+				violations = append(violations, fmt.Sprintf("%s serve-degraded failed=%d: %.0f queries/sec, committed %.0f (> %.2fx slower)",
+					r.Cell, r.FailedDisks, r.QPS, base.QPS, o.MaxRatio))
+			}
 		}
 	}
-	return out
+	return violations, append(infos, unmatchedBaselines("fault", matched)...)
 }

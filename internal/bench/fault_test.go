@@ -54,8 +54,8 @@ func TestRunFaultShape(t *testing.T) {
 
 	// The report must diff cleanly against itself, and DiffFault must
 	// catch a degraded-counter regression regardless of timing checks.
-	if v := DiffFault(report, report, DiffOptions{TimingChecks: true}); len(v) != 0 {
-		t.Fatalf("self-diff not clean: %v", v)
+	if v, infos := DiffFault(report, report, DiffOptions{TimingChecks: true}); len(v) != 0 || len(infos) != 0 {
+		t.Fatalf("self-diff not clean: %v %v", v, infos)
 	}
 	broken := *report
 	broken.Records = append([]FaultRecord(nil), report.Records...)
@@ -65,7 +65,7 @@ func TestRunFaultShape(t *testing.T) {
 			break
 		}
 	}
-	if v := DiffFault(report, &broken, DiffOptions{}); len(v) == 0 {
+	if v, _ := DiffFault(report, &broken, DiffOptions{}); len(v) == 0 {
 		t.Fatal("DiffFault missed a degraded-counter regression")
 	}
 }

@@ -28,6 +28,12 @@ func TestRunRetrievalSmoke(t *testing.T) {
 		if r.MaxflowRuns <= 0 {
 			t.Errorf("%s: no max-flow runs recorded", r.Solver)
 		}
+		// measureWarm errors out unless every perturbed re-solve actually
+		// warm-started and matched a cold cross-check, so a positive
+		// timing here certifies the warm path ran.
+		if r.WarmNsPerOp <= 0 || r.WarmSpeedup <= 0 {
+			t.Errorf("%s: warm path not measured: %v ns/op, %vx", r.Solver, r.WarmNsPerOp, r.WarmSpeedup)
+		}
 	}
 	if maxflow.AuditEnabled {
 		return // audit hooks allocate; the alloc gate only holds in normal builds
@@ -40,6 +46,9 @@ func TestRunRetrievalSmoke(t *testing.T) {
 		}
 		if r.AllocsPerOp != 0 {
 			t.Errorf("%s: %v allocs/op in steady state, want 0", r.Solver, r.AllocsPerOp)
+		}
+		if r.WarmAllocsPerOp != 0 {
+			t.Errorf("%s: %v allocs/op in warm steady state, want 0", r.Solver, r.WarmAllocsPerOp)
 		}
 	}
 }

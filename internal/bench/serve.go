@@ -15,6 +15,7 @@ import (
 	"imflow/internal/sim"
 	"imflow/internal/stats"
 	"imflow/internal/storage"
+	"imflow/internal/xrand"
 )
 
 // ServeOptions configures the serving-layer throughput benchmark behind
@@ -28,6 +29,17 @@ type ServeOptions struct {
 	Batch      int    `json:"batch"`       // max queries coalesced per worker wakeup
 	ExpNum     int    `json:"exp_num"`     // Table IV experiment (default 2)
 	MeanGapMs  int    `json:"mean_gap_ms"` // Poisson arrival mean gap (virtual clock)
+
+	// Hot-workload sweep: the stream is rewritten so HotPercent% of the
+	// queries draw their replica structure from a pool of HotShapes
+	// recurring shapes, and the cell is measured twice per worker count —
+	// once plain ("serve-hot") and once with the per-worker solve cache
+	// ("serve-hot-cached", CacheSize entries, busy times quantized to
+	// CacheQuantumUs microseconds).
+	HotShapes      int `json:"hot_shapes"`       // recurring structures in the pool (default 8)
+	HotPercent     int `json:"hot_percent"`      // percent of queries drawn from the pool (default 90)
+	CacheSize      int `json:"cache_size"`       // per-worker solve-cache entries (default 512)
+	CacheQuantumUs int `json:"cache_quantum_us"` // cache-key busy-time quantum (default 50000)
 }
 
 // withDefaults fills zero fields with the paper-scale defaults.
@@ -55,6 +67,18 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	}
 	if o.MeanGapMs <= 0 {
 		o.MeanGapMs = 2
+	}
+	if o.HotShapes <= 0 {
+		o.HotShapes = 8
+	}
+	if o.HotPercent <= 0 {
+		o.HotPercent = 90
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 512
+	}
+	if o.CacheQuantumUs <= 0 {
+		o.CacheQuantumUs = 50_000
 	}
 	return o
 }
@@ -92,12 +116,22 @@ type ServeRecord struct {
 	// construction) over the stream; the strict steady-state zero-alloc
 	// guarantee is gated by AllocsPerRun unit tests, not here.
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	// SpeedupVsReplay is this record's QPS over the cell's replay QPS.
+	// SpeedupVsReplay is this record's QPS over the cell's replay QPS
+	// (zero for hot-workload records, whose stream differs from the
+	// replayed one).
 	SpeedupVsReplay float64 `json:"speedup_vs_replay"`
 	// DeterministicMatch (replay records only) reports that the server's
 	// single-shard deterministic mode reproduced the replay response
 	// times bit for bit.
 	DeterministicMatch bool `json:"deterministic_match,omitempty"`
+
+	// Cross-query reuse columns (from serve.Server.SolveStats): the share
+	// of solver calls that warm-started, the solve-cache hit rate
+	// (cache-enabled records only), and — on "serve-hot-cached" records —
+	// this record's QPS over the same workload served uncached.
+	WarmRate          float64 `json:"warm_rate,omitempty"`
+	CacheHitRate      float64 `json:"cache_hit_rate,omitempty"`
+	SpeedupVsUncached float64 `json:"speedup_vs_uncached,omitempty"`
 }
 
 // ServeReport is the BENCH_serve.json document.
@@ -197,7 +231,7 @@ func RunServe(o ServeOptions) (*ServeReport, error) {
 		report.Records = append(report.Records, replayRec)
 
 		for _, w := range o.Workers {
-			rec, err := measureServe(inst.System, stream, w, o)
+			rec, err := measureServe(inst.System, stream, w, o, "serve", false)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cell %s: %d workers: %w", cfg, w, err)
 			}
@@ -205,8 +239,56 @@ func RunServe(o ServeOptions) (*ServeReport, error) {
 			rec.SpeedupVsReplay = rec.QPS / replayRec.QPS
 			report.Records = append(report.Records, rec)
 		}
+
+		// Hot workload: the repeated-query stream that warm starts and the
+		// solve cache exist for, measured uncached and cached per worker
+		// count so the cache's win is a same-workload ratio.
+		hot := hotStream(stream, o.HotShapes, o.HotPercent, cfg.Seed)
+		for _, w := range o.Workers {
+			hotRec, err := measureServe(inst.System, hot, w, o, "serve-hot", false)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: hot %d workers: %w", cfg, w, err)
+			}
+			hotRec.Cell, hotRec.N = cfg.String(), n
+			report.Records = append(report.Records, hotRec)
+
+			cachedRec, err := measureServe(inst.System, hot, w, o, "serve-hot-cached", true)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: hot-cached %d workers: %w", cfg, w, err)
+			}
+			cachedRec.Cell, cachedRec.N = cfg.String(), n
+			if hotRec.QPS > 0 {
+				cachedRec.SpeedupVsUncached = cachedRec.QPS / hotRec.QPS
+			}
+			report.Records = append(report.Records, cachedRec)
+		}
 	}
 	return report, nil
+}
+
+// hotStream rewrites a stream so roughly percent% of the queries draw
+// their replica structure from a pool of the first shapes structures,
+// modeling a repeated-query workload. Arrival times and the remaining cold
+// queries are untouched.
+func hotStream(stream []sim.Query, shapes, percent int, seed uint64) []sim.Query {
+	out := append([]sim.Query(nil), stream...)
+	if shapes > len(stream) {
+		shapes = len(stream)
+	}
+	if shapes == 0 {
+		return out
+	}
+	pool := make([][][]int, shapes)
+	for i := range pool {
+		pool[i] = stream[i].Replicas
+	}
+	rng := xrand.New(seed ^ 0x5ca1ab1e)
+	for i := range out {
+		if rng.Intn(100) < percent {
+			out[i].Replicas = pool[rng.Intn(shapes)]
+		}
+	}
+	return out
 }
 
 // toServeStream converts a sim stream into admission requests.
@@ -251,16 +333,20 @@ func measureReplay(sys *storage.System, stream []sim.Query) (ServeRecord, []cost
 
 // measureServe times one saturation pass of the concurrent server: the
 // whole stream is admitted as fast as the bounded queues accept and the
-// pass ends when the last shard drains.
-func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeOptions) (ServeRecord, error) {
+// pass ends when the last shard drains. cached enables the per-worker
+// solve cache with the options' size and quantum.
+func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeOptions, mode string, cached bool) (ServeRecord, error) {
 	rec := ServeRecord{
-		Mode: "serve", Solver: "pr-binary",
+		Mode: mode, Solver: "pr-binary",
 		Workers: workers, Queries: len(stream), Batch: o.Batch,
 	}
+	sopt := serve.Options{Workers: workers, QueueDepth: o.QueueDepth, Batch: o.Batch}
+	if cached {
+		sopt.CacheSize = o.CacheSize
+		sopt.CacheQuantum = cost.Micros(o.CacheQuantumUs)
+	}
 	qs := toServeStream(stream)
-	srv, err := serve.New(sys, len(qs), serve.Options{
-		Workers: workers, QueueDepth: o.QueueDepth, Batch: o.Batch,
-	})
+	srv, err := serve.New(sys, len(qs), sopt)
 	if err != nil {
 		return rec, err
 	}
@@ -288,6 +374,13 @@ func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeO
 	}
 	fillTiming(&rec, elapsed, latencies, float64(after.Mallocs-before.Mallocs))
 	rec.MeanResponseUs = float64(sum) / float64(len(results))
+	ss := srv.SolveStats()
+	if ss.Solves > 0 {
+		rec.WarmRate = float64(ss.WarmSolves) / float64(ss.Solves)
+	}
+	if probes := ss.CacheHits + ss.CacheMisses; probes > 0 {
+		rec.CacheHitRate = float64(ss.CacheHits) / float64(probes)
+	}
 	return rec, nil
 }
 
@@ -302,9 +395,10 @@ func fillTiming(rec *ServeRecord, elapsed time.Duration, latencies []time.Durati
 		us[i] = float64(l.Microseconds())
 	}
 	if len(us) > 0 {
-		rec.P50LatencyUs = stats.Percentile(us, 50)
-		rec.P95LatencyUs = stats.Percentile(us, 95)
-		rec.P99LatencyUs = stats.Percentile(us, 99)
+		pcts := stats.Percentiles(us, 50, 95, 99)
+		rec.P50LatencyUs = pcts[0]
+		rec.P95LatencyUs = pcts[1]
+		rec.P99LatencyUs = pcts[2]
 	}
 	rec.AllocsPerOp = mallocs / float64(rec.Queries)
 }

@@ -127,6 +127,88 @@ func (g *Graph) SetCap(a int, capacity int64) {
 	g.Cap[a] = capacity
 }
 
+// DrainExcess restores capacity-feasibility after capacities were lowered
+// below the current flow: every arc whose flow exceeds its capacity has
+// whole flow paths through it cancelled — the excess units are traced back
+// toward s along flow-carrying arcs and forward toward t — until the arc
+// fits again, so conservation holds at every vertex afterward. This is the
+// cross-query warm-start repair: the conserved flow of the previous solve,
+// drained to the new (possibly lower) capacities, is a feasible flow of
+// the new network the engines can augment from, exactly as the failover
+// path's whole-path cancellation feeds the conserved resume.
+//
+// The current flow must be feasible apart from the overfull arcs and
+// decomposable into simple s-t paths (no flow cycles) — true for every
+// network the retrieval solvers build, whose paths have depth at most
+// three. It returns the number of units cancelled.
+func (g *Graph) DrainExcess(s, t int) int64 {
+	var total int64
+	for a := 0; a < len(g.To); a += 2 {
+		excess := g.Flow[a] - g.Cap[a]
+		if excess <= 0 {
+			continue
+		}
+		u, v := int(g.To[a^1]), int(g.To[a])
+		g.Flow[a] -= excess
+		g.Flow[a^1] += excess
+		if u != s {
+			g.cancelInto(u, s, excess)
+		}
+		if v != t {
+			g.cancelOutOf(v, t, excess)
+		}
+		total += excess
+	}
+	return total
+}
+
+// cancelInto removes amount units of flow entering v, tracing each unit
+// back toward s along flow-carrying arcs. Arcs out of v with negative
+// flow are exactly the duals of arcs delivering flow into v.
+func (g *Graph) cancelInto(v, s int, amount int64) {
+	for a := g.Head[v]; a >= 0 && amount > 0; a = g.Next[a] {
+		if g.Flow[a] >= 0 {
+			continue
+		}
+		c := -g.Flow[a]
+		if c > amount {
+			c = amount
+		}
+		if w := int(g.To[a]); w != s {
+			g.cancelInto(w, s, c)
+		}
+		g.Flow[a] += c
+		g.Flow[a^1] -= c
+		amount -= c
+	}
+	if amount > 0 {
+		panic("flowgraph: DrainExcess could not trace flow back to the source")
+	}
+}
+
+// cancelOutOf removes amount units of flow leaving v, tracing each unit
+// forward toward t along flow-carrying arcs.
+func (g *Graph) cancelOutOf(v, t int, amount int64) {
+	for a := g.Head[v]; a >= 0 && amount > 0; a = g.Next[a] {
+		if g.Flow[a] <= 0 {
+			continue
+		}
+		c := g.Flow[a]
+		if c > amount {
+			c = amount
+		}
+		g.Flow[a] -= c
+		g.Flow[a^1] += c
+		if w := int(g.To[a]); w != t {
+			g.cancelOutOf(w, t, c)
+		}
+		amount -= c
+	}
+	if amount > 0 {
+		panic("flowgraph: DrainExcess could not trace flow forward to the sink")
+	}
+}
+
 // ZeroFlows clears all flow, returning the graph to the zero flow.
 func (g *Graph) ZeroFlows() {
 	for i := range g.Flow {

@@ -230,3 +230,93 @@ func TestPushPullInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// drainNet builds the retrieval-shaped test network
+// s(0) -> b1(1),b2(2) -> d1(3),d2(4) -> t(5) with two units routed
+// through d1 and returns the graph plus the arc ids involved.
+func drainNet(t *testing.T) (g *Graph, src1, src2, b1d1, b2d1, d1t, d2t int) {
+	t.Helper()
+	g = New(6)
+	src1 = g.AddEdge(0, 1, 1)
+	src2 = g.AddEdge(0, 2, 1)
+	b1d1 = g.AddEdge(1, 3, 1)
+	_ = g.AddEdge(1, 4, 1)
+	b2d1 = g.AddEdge(2, 3, 1)
+	_ = g.AddEdge(2, 4, 1)
+	d1t = g.AddEdge(3, 5, 2)
+	d2t = g.AddEdge(4, 5, 2)
+	for _, a := range []int{src1, b1d1, src2, b2d1} {
+		g.Push(a, 1)
+	}
+	g.Push(d1t, 2)
+	if _, err := g.CheckFlow(0, 5); err != nil {
+		t.Fatalf("setup flow invalid: %v", err)
+	}
+	return
+}
+
+func TestDrainExcessCancelsWholePaths(t *testing.T) {
+	g, src1, src2, _, _, d1t, d2t := drainNet(t)
+	// Lower d1->t below its flow: one unit must be cancelled all the way
+	// back to the source.
+	g.SetCap(d1t, 1)
+	if got := g.DrainExcess(0, 5); got != 1 {
+		t.Fatalf("DrainExcess cancelled %d units, want 1", got)
+	}
+	flow, err := g.CheckFlow(0, 5)
+	if err != nil {
+		t.Fatalf("flow infeasible after drain: %v", err)
+	}
+	if flow != 1 {
+		t.Fatalf("flow %d after drain, want 1", flow)
+	}
+	if g.Flow[d1t] != 1 {
+		t.Fatalf("drained arc carries %d, want 1", g.Flow[d1t])
+	}
+	// Exactly one of the two source arcs must have been un-routed.
+	if g.Flow[src1]+g.Flow[src2] != 1 {
+		t.Fatalf("source arcs carry %d+%d, want total 1", g.Flow[src1], g.Flow[src2])
+	}
+	if g.Flow[d2t] != 0 {
+		t.Fatalf("untouched disk arc carries %d, want 0", g.Flow[d2t])
+	}
+}
+
+func TestDrainExcessToZeroAndNoop(t *testing.T) {
+	g, _, _, _, _, d1t, _ := drainNet(t)
+	if got := g.DrainExcess(0, 5); got != 0 {
+		t.Fatalf("feasible graph drained %d units, want 0", got)
+	}
+	g.SetCap(d1t, 0)
+	if got := g.DrainExcess(0, 5); got != 2 {
+		t.Fatalf("DrainExcess cancelled %d units, want 2", got)
+	}
+	flow, err := g.CheckFlow(0, 5)
+	if err != nil {
+		t.Fatalf("flow infeasible after drain: %v", err)
+	}
+	if flow != 0 {
+		t.Fatalf("flow %d after full drain, want 0", flow)
+	}
+	for a := 0; a < g.M(); a++ {
+		if g.Flow[a] != 0 {
+			t.Fatalf("arc %d still carries %d after full drain", a, g.Flow[a])
+		}
+	}
+}
+
+func TestDrainExcessMidPathArc(t *testing.T) {
+	// Lowering a bucket->disk arc (mid-path) must cancel backward to s and
+	// forward to t.
+	g, src1, _, b1d1, _, d1t, _ := drainNet(t)
+	g.SetCap(b1d1, 0)
+	if got := g.DrainExcess(0, 5); got != 1 {
+		t.Fatalf("DrainExcess cancelled %d units, want 1", got)
+	}
+	if _, err := g.CheckFlow(0, 5); err != nil {
+		t.Fatalf("flow infeasible after drain: %v", err)
+	}
+	if g.Flow[src1] != 0 || g.Flow[d1t] != 1 {
+		t.Fatalf("src1=%d d1t=%d after mid-path drain, want 0 and 1", g.Flow[src1], g.Flow[d1t])
+	}
+}

@@ -322,6 +322,11 @@ func (net *network) finishDegraded(res *Result) error {
 	if err := net.extractScheduleInto(net.prob, res.Schedule); err != nil {
 		return err
 	}
+	// The solve completed cleanly, so the network (and its flow) may seed
+	// the next solve's warm start. A partial retrieval still qualifies:
+	// the flow is a valid maximal flow of the masked network, and the warm
+	// signature includes the mask.
+	net.warmOK = true
 	if len(net.dead) == 0 {
 		return nil
 	}

@@ -50,7 +50,13 @@ func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 		return err
 	}
 	net := &s.net
-	net.rebuild(p)
+	// A warm start skips the rebuild only; the base-capacity sweep below
+	// sets every disk capacity itself, so zeroing the carried flow is all
+	// the reset a reused graph needs.
+	warm := net.prepare(p, nil)
+	if warm {
+		net.g.ZeroFlows()
+	}
 	g := net.g
 	if s.ff == nil {
 		s.ff = maxflow.NewFordFulkerson(g)
@@ -59,7 +65,7 @@ func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 	}
 	ff := s.ff
 	*ff.Metrics() = maxflow.Metrics{}
-	res.Stats = Stats{Engine: ff.Name()}
+	res.Stats = Stats{Engine: ff.Name(), Warm: warm}
 
 	// caps[e] <- ceil(|Q|/N), the theoretical lower bound, over all N
 	// disks in the system (the paper divides by the total disk count).
@@ -86,7 +92,11 @@ func (s *FFBasic) SolveInto(p *Problem, res *Result) error {
 		//lint:ignore noalloc first call only; steady-state reuse passes a non-nil Schedule
 		res.Schedule = &Schedule{}
 	}
-	return net.extractScheduleInto(p, res.Schedule)
+	if err := net.extractScheduleInto(p, res.Schedule); err != nil {
+		return err
+	}
+	net.warmOK = true
+	return nil
 }
 
 // FFIncremental is Algorithm 2 of the paper: the integrated Ford-Fulkerson
@@ -132,7 +142,13 @@ func (s *FFIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) err
 		return err
 	}
 	net := &s.net
-	net.rebuildMasked(p, mask)
+	// A warm start reuses the previous build; the bucket-at-a-time walk
+	// must still begin from zero flow and zero capacities (see warm.go),
+	// so only the rebuild itself is skipped.
+	warm := net.prepare(p, mask)
+	if warm {
+		net.resetRun()
+	}
 	g := net.g
 	if s.ff == nil {
 		s.ff = maxflow.NewFordFulkerson(g)
@@ -142,7 +158,7 @@ func (s *FFIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) err
 	ff := s.ff
 	*ff.Metrics() = maxflow.Metrics{}
 	s.st.reset(net)
-	res.Stats = Stats{Engine: ff.Name()}
+	res.Stats = Stats{Engine: ff.Name(), Warm: warm}
 
 	for i := 0; i < net.q; i++ {
 		if net.deadMark[i] {

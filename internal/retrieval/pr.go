@@ -86,7 +86,13 @@ func (s *PRIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) err
 		return err
 	}
 	net := &s.net
-	net.rebuildMasked(p, mask)
+	// A warm start reuses the previous build; the threshold walk must
+	// still begin from zero flow and zero capacities (see warm.go), so
+	// only the rebuild itself is skipped.
+	warm := net.prepare(p, mask)
+	if warm {
+		net.resetRun()
+	}
 	if s.engine == nil {
 		s.engine = s.factory(net.g)
 	} else {
@@ -95,7 +101,7 @@ func (s *PRIncremental) solveMasked(p *Problem, mask *DiskMask, res *Result) err
 	engine := s.engine
 	*engine.Metrics() = maxflow.Metrics{}
 	s.st.reset(net)
-	res.Stats = Stats{Engine: engine.Name()}
+	res.Stats = Stats{Engine: engine.Name(), Warm: warm}
 	target := net.target()
 	var flow int64
 	for flow < target {
@@ -200,7 +206,18 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 		return err
 	}
 	net := &s.net
-	net.rebuildMasked(p, mask)
+	// A conserving warm start carries the previous query's maximal flow
+	// into this solve: instead of the cold path's snapshot/rollback dance,
+	// every capacity probe drains the carried flow to the probe's
+	// capacities (DrainExcess) and augments the difference. Probe
+	// feasibility depends only on the capacities, so the bracket
+	// trajectory and every counter stay bit-identical to a cold solve.
+	// The black-box baseline zeroes flows before every run either way, so
+	// its warm start only skips the rebuild.
+	warm := net.prepare(p, mask)
+	if warm && !s.conserve {
+		net.g.ZeroFlows()
+	}
 	if s.engine == nil {
 		s.engine = s.factory(net.g)
 	} else {
@@ -208,7 +225,7 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	}
 	engine := s.engine
 	*engine.Metrics() = maxflow.Metrics{}
-	res.Stats = Stats{Engine: engine.Name()}
+	res.Stats = Stats{Engine: engine.Name(), Warm: warm}
 	target := net.target()
 
 	// Bracket the optimum: tmax assumes every bucket is retrieved from the
@@ -246,7 +263,7 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 		tmin = 0
 	}
 
-	if s.conserve {
+	if s.conserve && !warm {
 		s.saved = net.g.SnapshotFlows(s.saved) // all-zero snapshot
 	}
 	// The paper loops while (tmax - tmin) >= minSpeed over reals; with
@@ -257,7 +274,13 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	for cost.SatSub(tmax, tmin) > minSpeed {
 		tmid := cost.SatAdd(tmin, cost.SatSub(tmax, tmin)/2)
 		net.capsForTime(tmid)
-		if !s.conserve {
+		if s.conserve {
+			if warm {
+				// Warm conservation: drain the carried flow down to this
+				// probe's capacities and let the engine augment the rest.
+				net.g.DrainExcess(net.s, net.t)
+			}
+		} else {
 			net.g.ZeroFlows()
 		}
 		flow := engine.Run(net.s, net.t)
@@ -267,14 +290,16 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 		if flow != target {
 			// Infeasible: keep (store) these flows — they stay valid at
 			// every larger capacity setting — and raise the floor.
-			if s.conserve {
+			if s.conserve && !warm {
 				s.saved = net.g.SnapshotFlows(s.saved)
 			}
 			tmin = tmid
 		} else {
 			// Feasible: the optimum may be lower, so roll back to the last
-			// infeasible flow state and lower the ceiling.
-			if s.conserve {
+			// infeasible flow state and lower the ceiling. On the warm path
+			// the next probe's DrainExcess performs the equivalent cut-down
+			// in place, so there is nothing to restore.
+			if s.conserve && !warm {
 				net.g.RestoreFlows(s.saved)
 			}
 			tmax = tmid
@@ -284,11 +309,16 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 	// Final stretch: Algorithm 5 from tmin's capacities. At most N more
 	// increments separate tmin from the optimum.
 	if s.conserve {
-		net.g.RestoreFlows(s.saved)
+		if !warm {
+			net.g.RestoreFlows(s.saved)
+		}
 	} else {
 		net.g.ZeroFlows()
 	}
 	net.capsForTime(tmin)
+	if s.conserve && warm {
+		net.g.DrainExcess(net.s, net.t)
+	}
 	s.st.reset(net)
 	if !s.conserve {
 		net.g.ZeroFlows()

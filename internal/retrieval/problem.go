@@ -219,6 +219,10 @@ type Stats struct {
 	Increments  int             // IncrementMinCost steps
 	BinarySteps int             // binary capacity-scaling iterations
 	Flow        maxflow.Metrics // elementary operation counts
+	// Warm marks a cross-query warm start: the problem matched the
+	// previous build's structure signature, so the network (and, for the
+	// conserving binary solver, the flow) was reused instead of rebuilt.
+	Warm bool
 }
 
 // Result bundles a solver's output.
@@ -273,6 +277,12 @@ type network struct {
 	deadMark   []bool   // deadMark[i]: bucket i has every replica failed
 	dead       []int    // dead buckets, ascending
 	prob       *Problem // problem of the last rebuild (used by MarkFailed)
+
+	// Cross-query warm-start state (see warm.go): the flattened replica
+	// structure of the last build, and whether the last solve completed
+	// cleanly enough for its network (and flow) to seed the next.
+	sigFlat []int32
+	warmOK  bool
 }
 
 // grow returns s resized to n elements, reallocating only when the backing
@@ -313,6 +323,7 @@ func (net *network) rebuild(p *Problem) {
 //
 //imflow:allocok
 func (net *network) rebuildMasked(p *Problem, mask *DiskMask) {
+	net.warmOK = false
 	q := len(p.Replicas)
 	// First pass: discover participating disks. Global disk IDs are dense
 	// (indices into p.Disks), so a slice stands in for the map.
@@ -381,6 +392,7 @@ func (net *network) rebuildMasked(p *Problem, mask *DiskMask) {
 		net.caps[k] = 0
 	}
 	net.prob = p
+	net.recordSignature(p)
 }
 
 // target returns the flow value a feasible degraded solve must reach: the

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+)
+
+// solveCache is a worker-pinned bounded LRU of solved assignments, keyed
+// by the exact problem the solver would otherwise be handed: the query's
+// replica lists plus the (quantized) per-disk table. Entries are tagged
+// with the fault epoch they were solved under; the epoch only ever
+// advances, and every health/slowdown mutation bumps it under the server
+// mutex, so epoch equality certifies the masked world is unchanged — the
+// mask never needs to be part of the key. A hit therefore replays a result
+// that is bit-identical to what a fresh solve of the same problem would
+// return (the response time is unique; see warm.go in retrieval).
+//
+// The structure is allocation-conscious in the same way the solvers are:
+// probes (the steady-state path) are allocation-free — one map lookup, an
+// exact key comparison, and an intrusive-list touch — while inserts grow
+// entry buffers amortizedly toward the workload's peak shape.
+type solveCache struct {
+	entries []cacheEntry
+	index   map[uint64]int32 // hash -> entry slot; collisions overwrite
+	head    int32            // most recently used, -1 when empty
+	tail    int32            // least recently used, -1 when empty
+	n       int              // occupied slots
+}
+
+// cacheEntry is one cached solve. sig is the flattened, length-prefixed
+// replica structure; disks is the full disk table the solve ran against;
+// asn is the per-bucket assignment (-1 for buckets dropped by a degraded
+// solve).
+type cacheEntry struct {
+	hash    uint64
+	epoch   uint64
+	sig     []int32
+	disks   []retrieval.DiskParams
+	asn     []int32
+	resp    cost.Micros
+	dropped int32
+	prev    int32
+	next    int32
+}
+
+// newSolveCache returns an empty cache holding at most size entries.
+//
+//imflow:allocok
+func newSolveCache(size int) *solveCache {
+	return &solveCache{
+		entries: make([]cacheEntry, size),
+		index:   make(map[uint64]int32, size),
+		head:    -1,
+		tail:    -1,
+	}
+}
+
+// FNV-1a 64-bit, folded a word at a time. Collisions are harmless: the
+// probe falls back to an exact comparison and reports a miss.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// hashProblem folds the cache key — replica structure and disk table —
+// into one 64-bit signature.
+func hashProblem(p *retrieval.Problem) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvWord(h, uint64(len(p.Replicas)))
+	for _, reps := range p.Replicas {
+		h = fnvWord(h, uint64(len(reps)))
+		for _, d := range reps {
+			h = fnvWord(h, uint64(d))
+		}
+	}
+	h = fnvWord(h, uint64(len(p.Disks)))
+	for _, d := range p.Disks {
+		h = fnvWord(h, uint64(d.Service))
+		h = fnvWord(h, uint64(d.Delay))
+		h = fnvWord(h, uint64(d.Load))
+	}
+	return h
+}
+
+// matches reports whether the entry's key equals p exactly.
+func (e *cacheEntry) matches(p *retrieval.Problem) bool {
+	if len(e.disks) != len(p.Disks) {
+		return false
+	}
+	for j, d := range p.Disks {
+		if e.disks[j] != d {
+			return false
+		}
+	}
+	idx := 0
+	for _, reps := range p.Replicas {
+		if idx >= len(e.sig) || int(e.sig[idx]) != len(reps) {
+			return false
+		}
+		idx++
+		for _, d := range reps {
+			if idx >= len(e.sig) || int(e.sig[idx]) != d {
+				return false
+			}
+			idx++
+		}
+	}
+	return idx == len(e.sig)
+}
+
+// probe looks p up under the given fault epoch. On a hit the entry is
+// touched to the LRU front and its slot returned. Allocation-free.
+func (c *solveCache) probe(p *retrieval.Problem, epoch uint64) (int32, bool) {
+	i, ok := c.index[hashProblem(p)]
+	if !ok {
+		return -1, false
+	}
+	e := &c.entries[i]
+	if e.epoch != epoch || !e.matches(p) {
+		return -1, false
+	}
+	c.touch(i)
+	return i, true
+}
+
+// insert records a solved assignment for p under the given epoch,
+// overwriting the same-hash slot if one exists, filling an empty slot
+// otherwise, and evicting the LRU tail when full.
+// Amortized: entry buffers grow to the workload's peak shape and are then
+// reused; the hash map churns within its bounded size.
+//
+//imflow:allocok
+func (c *solveCache) insert(p *retrieval.Problem, epoch uint64, res *retrieval.Result, dropped int) {
+	if len(c.entries) == 0 {
+		return
+	}
+	h := hashProblem(p)
+	i, exists := c.index[h]
+	switch {
+	case exists:
+		c.unlink(i)
+	case c.n < len(c.entries):
+		i = int32(c.n)
+		c.n++
+	default:
+		i = c.tail
+		c.unlink(i)
+		delete(c.index, c.entries[i].hash)
+	}
+	e := &c.entries[i]
+	e.hash = h
+	e.epoch = epoch
+	sig := e.sig[:0]
+	for _, reps := range p.Replicas {
+		sig = append(sig, int32(len(reps)))
+		for _, d := range reps {
+			sig = append(sig, int32(d))
+		}
+	}
+	e.sig = sig
+	e.disks = append(e.disks[:0], p.Disks...)
+	asn := e.asn[:0]
+	for _, d := range res.Schedule.Assignment {
+		asn = append(asn, int32(d))
+	}
+	e.asn = asn
+	e.resp = res.Schedule.ResponseTime
+	e.dropped = int32(dropped)
+	c.index[h] = i
+	c.pushFront(i)
+}
+
+// touch moves slot i to the LRU front.
+func (c *solveCache) touch(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+// unlink removes slot i from the LRU list (no-op if not linked).
+func (c *solveCache) unlink(i int32) {
+	e := &c.entries[i]
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	} else if c.head == i {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	} else if c.tail == i {
+		c.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushFront links slot i as the most recently used.
+func (c *solveCache) pushFront(i int32) {
+	e := &c.entries[i]
+	e.prev = -1
+	e.next = c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}

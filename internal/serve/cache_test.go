@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/retrieval"
+	"imflow/internal/sim"
+)
+
+// cacheProblem builds a small fixed problem for the solveCache unit tests.
+func cacheProblem(shape int, load cost.Micros) *retrieval.Problem {
+	p := &retrieval.Problem{
+		Disks: []retrieval.DiskParams{
+			{Service: 1000, Load: load},
+			{Service: 2000, Delay: 100},
+			{Service: 1500},
+		},
+	}
+	switch shape {
+	case 0:
+		p.Replicas = [][]int{{0, 1}, {2}}
+	case 1:
+		p.Replicas = [][]int{{1, 2}, {0}}
+	default:
+		p.Replicas = [][]int{{0}, {1}, {2}}
+	}
+	return p
+}
+
+// cacheResult wraps an assignment in the Result shape insert expects.
+func cacheResult(assignment []int, resp cost.Micros) *retrieval.Result {
+	return &retrieval.Result{Schedule: &retrieval.Schedule{Assignment: assignment, ResponseTime: resp}}
+}
+
+// TestSolveCacheProbeInsert covers the exact-key contract: a hit needs the
+// same replica structure, the same disk table, and the same fault epoch;
+// anything else is a miss.
+func TestSolveCacheProbeInsert(t *testing.T) {
+	c := newSolveCache(4)
+	p := cacheProblem(0, 500)
+	if _, ok := c.probe(p, 1); ok {
+		t.Fatal("probe of empty cache hit")
+	}
+	c.insert(p, 1, cacheResult([]int{0, 2}, 1500), 0)
+	i, ok := c.probe(p, 1)
+	if !ok {
+		t.Fatal("probe after insert missed")
+	}
+	if e := &c.entries[i]; e.resp != 1500 || e.dropped != 0 {
+		t.Fatalf("entry payload %v/%d", e.resp, e.dropped)
+	}
+	if _, ok := c.probe(p, 2); ok {
+		t.Fatal("probe under a different fault epoch hit")
+	}
+	if _, ok := c.probe(cacheProblem(0, 501), 1); ok {
+		t.Fatal("probe with a different disk load hit")
+	}
+	if _, ok := c.probe(cacheProblem(1, 500), 1); ok {
+		t.Fatal("probe with different replicas hit")
+	}
+	// Re-inserting the same key under a newer epoch revalidates it.
+	c.insert(p, 2, cacheResult([]int{1, 2}, 2100), 1)
+	i, ok = c.probe(p, 2)
+	if !ok {
+		t.Fatal("probe after epoch refresh missed")
+	}
+	if e := &c.entries[i]; e.resp != 2100 || e.dropped != 1 {
+		t.Fatalf("refreshed payload %v/%d", e.resp, e.dropped)
+	}
+}
+
+// TestSolveCacheLRUEviction fills a size-2 cache with three distinct keys
+// and checks that exactly the least-recently-used entry is evicted.
+func TestSolveCacheLRUEviction(t *testing.T) {
+	c := newSolveCache(2)
+	p0, p1, p2 := cacheProblem(0, 0), cacheProblem(1, 0), cacheProblem(2, 0)
+	c.insert(p0, 7, cacheResult([]int{0, 2}, 10), 0)
+	c.insert(p1, 7, cacheResult([]int{1, 0}, 20), 0)
+	// Touch p0 so p1 becomes the LRU victim.
+	if _, ok := c.probe(p0, 7); !ok {
+		t.Fatal("p0 missing before eviction")
+	}
+	c.insert(p2, 7, cacheResult([]int{0, 1, 2}, 30), 0)
+	if _, ok := c.probe(p0, 7); !ok {
+		t.Fatal("recently-used p0 was evicted")
+	}
+	if _, ok := c.probe(p1, 7); ok {
+		t.Fatal("LRU p1 survived eviction")
+	}
+	if _, ok := c.probe(p2, 7); !ok {
+		t.Fatal("fresh p2 missing")
+	}
+}
+
+// TestCacheRejectedInDeterministicMode pins the config error: the solve
+// cache would break the bit-identical-to-sim contract, so the combination
+// must be refused up front.
+func TestCacheRejectedInDeterministicMode(t *testing.T) {
+	sys, _ := testStream(t, 4, 1)
+	if _, err := New(sys, 4, Options{Deterministic: true, CacheSize: 8}); err == nil {
+		t.Fatal("New accepted Deterministic+CacheSize")
+	}
+}
+
+// hotQueries builds an admission stream that repeats one replica structure
+// for every query — the hot-shape extreme the cache is built for.
+func hotQueries(stream []sim.Query) []Query {
+	qs := toServeQueries(stream)
+	for i := range qs {
+		qs[i].Replicas = qs[0].Replicas
+	}
+	return qs
+}
+
+// TestCachedServeBitIdenticalToFreshSolve is the cache's correctness gate:
+// with a hot repeated-query stream and coarse quantization (maximizing
+// hits), every served schedule — cached or solved — must be valid for the
+// problem it was served against and must land exactly on the response time
+// an independent fresh solver computes for that problem. SolveStats must
+// show the cache actually engaged.
+func TestCachedServeBitIdenticalToFreshSolve(t *testing.T) {
+	sys, stream := testStream(t, 80, 23)
+	qs := hotQueries(stream)
+
+	var mu sync.Mutex
+	var hookErrs []string
+	opt := Options{
+		Workers:      2,
+		Batch:        4,
+		CacheSize:    32,
+		CacheQuantum: cost.FromMillis(10_000), // quantize every load to 0: identical keys
+		OnSchedule: func(worker int, q *Query, p *retrieval.Problem, s *retrieval.Schedule) {
+			err := p.ValidateSchedule(s)
+			var fresh *retrieval.Result
+			if err == nil {
+				fresh, err = retrieval.NewPRBinary().Solve(p)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				hookErrs = append(hookErrs, err.Error())
+				return
+			}
+			if s.ResponseTime != fresh.Schedule.ResponseTime {
+				hookErrs = append(hookErrs, "served response != fresh solve response")
+			}
+		},
+	}
+	s, err := New(sys, len(qs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	for _, q := range qs {
+		if err := s.Submit(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hookErrs {
+		t.Errorf("schedule check: %s", e)
+	}
+	for i, r := range results {
+		if r.Rejected || r.ResponseTime <= 0 {
+			t.Fatalf("query %d not served: %+v", i, r)
+		}
+	}
+	ss := s.SolveStats()
+	if ss.CacheHits == 0 {
+		t.Errorf("hot stream produced no cache hits: %+v", ss)
+	}
+	if ss.CacheHits+ss.Solves < int64(len(qs)) {
+		t.Errorf("hits %d + solves %d < %d queries", ss.CacheHits, ss.Solves, len(qs))
+	}
+}
+
+// TestCacheEpochInvalidation drives the cache across a fault-epoch change:
+// hot queries warm the cache, a replica-bearing disk is failed, and the
+// post-failure half of the stream must not reuse pre-failure entries. The
+// check is race-free by construction: a query with Seq >= half is only
+// submitted after FailDisk returns, so the batch that serves it snapshots
+// the bumped epoch — stale cache entries miss and the masked solve (or a
+// fresh insert) must avoid the failed disk.
+func TestCacheEpochInvalidation(t *testing.T) {
+	sys, stream := testStream(t, 60, 29)
+	qs := hotQueries(stream)
+	half := len(qs) / 2
+	// Fail a disk the hot replica structure can actually route through, so
+	// a stale pre-failure entry served after the failure would be caught.
+	failDisk := qs[0].Replicas[0][0]
+
+	var mu sync.Mutex
+	var badUse, postFailure int
+	opt := Options{
+		Workers:      1,
+		Batch:        4,
+		CacheSize:    32,
+		CacheQuantum: cost.FromMillis(10_000),
+		OnSchedule: func(worker int, q *Query, p *retrieval.Problem, s *retrieval.Schedule) {
+			if q.Seq < half {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			postFailure++
+			for _, d := range s.Assignment {
+				if d == failDisk {
+					badUse++
+				}
+			}
+		},
+	}
+	s, err := New(sys, len(qs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	for i, q := range qs {
+		if i == half {
+			if err := s.FailDisk(failDisk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Submit(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if postFailure == 0 {
+		t.Fatal("no post-failure schedules observed")
+	}
+	if badUse > 0 {
+		t.Errorf("%d post-failure assignments used failed disk %d (stale cache entries served)", badUse, failDisk)
+	}
+	served := 0
+	for _, r := range results {
+		if !r.Rejected && r.ResponseTime > 0 {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("nothing served")
+	}
+}
+
+// TestServeWarmSolveStats pins the warm-start counter: a single-shard
+// stream of structure-identical queries warms from the second solver call
+// on, so WarmSolves is exactly Solves-1 (cache off; every query solves).
+func TestServeWarmSolveStats(t *testing.T) {
+	sys, stream := testStream(t, 30, 3)
+	qs := hotQueries(stream)
+	s, err := New(sys, len(qs), Options{Workers: 1, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	for _, q := range qs {
+		if err := s.Submit(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ss := s.SolveStats()
+	if ss.Solves != int64(len(qs)) {
+		t.Fatalf("solves %d, want %d", ss.Solves, len(qs))
+	}
+	if ss.WarmSolves != ss.Solves-1 {
+		t.Errorf("warm solves %d of %d, want all but the first", ss.WarmSolves, ss.Solves)
+	}
+	if ss.CacheHits != 0 || ss.CacheMisses != 0 {
+		t.Errorf("cache counters moved with the cache disabled: %+v", ss)
+	}
+}
+
+// TestDeterministicDeadlineModelClock is the deterministic-deadline
+// regression test: with a Deadline on every query, replay must serve the
+// whole stream (the model age at serve time is zero — the clock is the
+// query's own arrival) and stay bit-identical to the sim replay, no matter
+// how slowly the wall clock ticks past the tiny deadline.
+func TestDeterministicDeadlineModelClock(t *testing.T) {
+	sys, stream := testStream(t, 50, 19)
+
+	replay, err := sim.New(sys, sim.SolverScheduler{Solver: retrieval.NewPRBinary()}).
+		Run(append([]sim.Query(nil), stream...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := toServeQueries(stream)
+	for i := range qs {
+		// Far below any plausible wall-clock scheduling jitter: the old
+		// wall-clock check rejected these nondeterministically.
+		qs[i].Deadline = time.Microsecond
+	}
+	results, err := Serve(context.Background(), sys, qs, Options{Deterministic: true, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Rejected {
+			t.Fatalf("query %d rejected by a model-clock deadline of age zero", i)
+		}
+		if r.ResponseTime != replay[i].ResponseTime || r.Finish != replay[i].Finish {
+			t.Fatalf("query %d: serve (%v,%v), sim (%v,%v)", i,
+				r.ResponseTime, r.Finish, replay[i].ResponseTime, replay[i].Finish)
+		}
+	}
+}

@@ -54,10 +54,13 @@ type Query struct {
 	Seq      int
 	Arrival  cost.Micros
 	Replicas [][]int
-	// Deadline, when positive, bounds the wall time from Submit to being
+	// Deadline, when positive, bounds the time from Submit to being
 	// served: Submit fails with ErrDeadlineExceeded instead of blocking
 	// past it on a full queue, and a worker that dequeues the query too
-	// late rejects it (Result.Rejected) instead of serving it.
+	// late rejects it (Result.Rejected) instead of serving it. In the
+	// concurrent mode both bounds are wall-clock; in deterministic mode
+	// the age is model time (the serving clock minus Arrival), so replay
+	// stays bit-identical to sim regardless of wall-clock scheduling.
 	Deadline time.Duration
 
 	submitted time.Time // stamped by Submit for the wall-clock latency
@@ -137,6 +140,19 @@ type Options struct {
 	// RetryBackoff is the base of the exponential backoff (with jitter)
 	// between bounce repairs. <= 0 means 50µs.
 	RetryBackoff time.Duration
+	// CacheSize, when positive, enables each worker's signature-keyed
+	// solve cache: a bounded LRU keyed by the query's replica lists and
+	// the (quantized) disk table, tagged with the fault epoch, letting
+	// hot repeated queries skip the solver entirely. Incompatible with
+	// Deterministic mode, whose contract is bit-identity with sim replay.
+	CacheSize int
+	// CacheQuantum, when > 1, quantizes the busy-derived load X_j (rounds
+	// it down to a multiple of the quantum, in microseconds) in the disk
+	// table of cache-enabled workers, so near-identical load vectors
+	// share cache entries. Cached results stay bit-identical to a fresh
+	// solve of the same quantized problem; the quantum bounds the model
+	// error per disk. <= 1 (the default) keys on exact loads.
+	CacheQuantum cost.Micros
 }
 
 // FaultStats are the serving layer's graceful-degradation counters,
@@ -155,7 +171,13 @@ func (o Options) withDefaults() (Options, error) {
 		if o.Workers > 1 {
 			return o, fmt.Errorf("serve: deterministic mode is single-shard (got %d workers)", o.Workers)
 		}
+		if o.CacheSize > 0 {
+			return o, fmt.Errorf("serve: the solve cache is incompatible with deterministic mode (sim replay has no cache)")
+		}
 		o.Workers = 1
+	}
+	if o.CacheSize > 0 && o.CacheQuantum <= 1 {
+		o.CacheQuantum = 1
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -234,10 +256,36 @@ type Server struct {
 	nRetries   atomic.Int64
 	nRejected  atomic.Int64
 
+	// Solve-path counters (see SolveStats).
+	nSolves      atomic.Int64
+	nWarm        atomic.Int64
+	nCacheHits   atomic.Int64
+	nCacheMisses atomic.Int64
+
 	// afterSolve, when non-nil, runs between a fault-mode solve and its
 	// mid-solve-failure check; in-package tests use it to inject a
 	// failure in exactly that window.
 	afterSolve func(w *worker, q *Query)
+}
+
+// SolveStats are the cross-query reuse counters: how many solver calls
+// ran, how many of those warm-started on the previous build, and the
+// solve-cache hit/miss split (zero when the cache is disabled).
+type SolveStats struct {
+	Solves      int64 // solver invocations (cache hits excluded)
+	WarmSolves  int64 // solver invocations that warm-started
+	CacheHits   int64 // queries served from the solve cache
+	CacheMisses int64 // cache probes that fell through to the solver
+}
+
+// SolveStats snapshots the cross-query reuse counters.
+func (s *Server) SolveStats() SolveStats {
+	return SolveStats{
+		Solves:      s.nSolves.Load(),
+		WarmSolves:  s.nWarm.Load(),
+		CacheHits:   s.nCacheHits.Load(),
+		CacheMisses: s.nCacheMisses.Load(),
+	}
 }
 
 // FaultStats snapshots the graceful-degradation counters.
@@ -435,7 +483,10 @@ func (s *Server) SubmitTo(ctx context.Context, shard int, q Query) error {
 		ctx = context.Background()
 	}
 	q.submitted = time.Now()
-	if q.Deadline > 0 {
+	// Deterministic mode evaluates deadlines against the model clock at
+	// serve time (rejectLateAt); a wall-clock admission timer here would
+	// make replay scheduling-dependent, breaking bit-identity with sim.
+	if q.Deadline > 0 && !s.opt.Deterministic {
 		timer := time.NewTimer(q.Deadline)
 		defer timer.Stop()
 		select {

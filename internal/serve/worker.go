@@ -46,6 +46,13 @@ type worker struct {
 	epoch     uint64
 	conflicts []int
 	rng       *xrand.Source
+
+	// cache is the worker's signature-keyed solve cache (nil unless
+	// Options.CacheSize > 0). tableStale marks that a mid-batch fault
+	// refresh may have changed the slowdown factors, so the batch-shared
+	// disk table must be rebuilt before the next query uses it.
+	cache      *solveCache
+	tableStale bool
 }
 
 // newWorker builds worker id with its pinned solver and presized state.
@@ -64,6 +71,9 @@ func (s *Server) newWorker(id int) *worker {
 		rng:    xrand.New(0xfa171 + uint64(id)),
 	}
 	w.fsolver, _ = w.solver.(retrieval.FailoverSolver)
+	if s.opt.CacheSize > 0 {
+		w.cache = newSolveCache(s.opt.CacheSize)
+	}
 	for j := range w.slow {
 		w.slow[j] = 1
 	}
@@ -136,7 +146,7 @@ func (w *worker) serveDeterministic(batch []Query) error {
 			return fmt.Errorf("arrival %v before clock %v (deterministic mode needs ordered arrivals)", q.Arrival, s.clock)
 		}
 		s.clock = q.Arrival
-		if w.rejectLate(q) {
+		if w.rejectLateAt(q, s.clock) {
 			continue
 		}
 		var dropped int
@@ -159,6 +169,7 @@ func (w *worker) serveDeterministic(batch []Query) error {
 		} else if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
 			return err
 		}
+		w.countSolve()
 		worst := w.applyLoads(s.busyUntil, s.clock)
 		w.countDegraded(dropped)
 		if s.opt.OnSchedule != nil {
@@ -202,12 +213,21 @@ func (w *worker) serveConcurrent(batch []Query) error {
 	for j := range w.added {
 		w.added[j] = 0
 	}
+	// Batch-shared network inputs: the disk table is built once from the
+	// snapshot, and after each query only the disks its schedule touched
+	// are refreshed — a served query changes nothing else. A mid-batch
+	// fault refresh flips tableStale (the slowdown factors may have
+	// moved), forcing a full rebuild before the next query.
+	w.buildDiskTable(w.local, now)
 	for i := range batch {
 		q := &batch[i]
 		if w.rejectLate(q) {
 			continue
 		}
-		w.rebuildProblem(w.local, now, q.Replicas)
+		if w.tableStale {
+			w.buildDiskTable(w.local, now)
+		}
+		w.prob.Replicas = q.Replicas
 		var dropped, failovers int
 		if faultOn {
 			served, err := w.solveFaulty(q, now, &dropped, &failovers)
@@ -217,8 +237,12 @@ func (w *worker) serveConcurrent(batch []Query) error {
 			if !served {
 				continue // rejected after retry exhaustion, already recorded
 			}
-		} else if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
-			return err
+		} else if !w.probeCache(&dropped) {
+			if err := w.solver.SolveInto(&w.prob, &w.res); err != nil {
+				return err
+			}
+			w.countSolve()
+			w.cacheInsert(dropped)
 		}
 		worst := w.applyLoads(w.local, now)
 		for j, k := range w.res.Schedule.Counts {
@@ -236,6 +260,14 @@ func (w *worker) serveConcurrent(batch []Query) error {
 			Latency:      sinceSubmit(q),
 			Dropped:      dropped,
 			Failovers:    failovers,
+		}
+		// Only now fold the served load into the shared table: the next
+		// query must see it, but OnSchedule above validates the schedule
+		// against the problem it was solved from.
+		for j, k := range w.res.Schedule.Counts {
+			if k != 0 {
+				w.refreshDisk(j, w.local, now)
+			}
 		}
 	}
 	s.mu.Lock()
@@ -255,8 +287,8 @@ func (w *worker) serveConcurrent(batch []Query) error {
 	return nil
 }
 
-// rejectLate rejects a query whose admission deadline elapsed while it
-// sat in the shard queue.
+// rejectLate rejects a query whose admission deadline elapsed (wall
+// clock) while it sat in the shard queue. Concurrent mode only.
 //
 //imflow:noalloc
 func (w *worker) rejectLate(q *Query) bool {
@@ -266,6 +298,96 @@ func (w *worker) rejectLate(q *Query) bool {
 	w.srv.nRejected.Add(1)
 	w.srv.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
 	return true
+}
+
+// rejectLateAt is deterministic mode's deadline check: the age is model
+// time — the serving clock minus the query's arrival — never the wall
+// clock, so replay with deadlines set stays bit-identical to sim no
+// matter how the goroutines are scheduled. The clock is passed in by the
+// mutex-holding caller.
+//
+//imflow:noalloc
+func (w *worker) rejectLateAt(q *Query, clock cost.Micros) bool {
+	if q.Deadline <= 0 {
+		return false
+	}
+	if age := time.Duration(cost.SatSub(clock, q.Arrival)) * time.Microsecond; age <= q.Deadline {
+		return false
+	}
+	w.srv.nRejected.Add(1)
+	w.srv.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+	return true
+}
+
+// countSolve folds one completed solver call into the reuse counters.
+//
+//imflow:noalloc
+func (w *worker) countSolve() {
+	w.srv.nSolves.Add(1)
+	if w.res.Stats.Warm {
+		w.srv.nWarm.Add(1)
+	}
+}
+
+// probeCache serves the current problem from the solve cache if it holds
+// a same-epoch entry for exactly this key. On a hit the worker's pinned
+// result is materialized from the entry and the solver is never touched.
+//
+//imflow:noalloc
+func (w *worker) probeCache(dropped *int) bool {
+	if w.cache == nil {
+		return false
+	}
+	i, ok := w.cache.probe(&w.prob, w.epoch)
+	if !ok {
+		w.srv.nCacheMisses.Add(1)
+		return false
+	}
+	w.srv.nCacheHits.Add(1)
+	w.materialize(&w.cache.entries[i], dropped)
+	return true
+}
+
+// materialize fills the worker's pinned Result from a cache entry.
+// Amortized: the Schedule buffers grow to the workload's peak shape once
+// and are then reused, exactly like the solver's own extract path.
+//
+//imflow:allocok
+func (w *worker) materialize(e *cacheEntry, dropped *int) {
+	if w.res.Schedule == nil {
+		w.res.Schedule = &retrieval.Schedule{}
+	}
+	sch := w.res.Schedule
+	if cap(sch.Assignment) < len(e.asn) {
+		sch.Assignment = make([]int, len(e.asn))
+	}
+	sch.Assignment = sch.Assignment[:len(e.asn)]
+	if cap(sch.Counts) < len(e.disks) {
+		sch.Counts = make([]int64, len(e.disks))
+	}
+	sch.Counts = sch.Counts[:len(e.disks)]
+	for j := range sch.Counts {
+		sch.Counts[j] = 0
+	}
+	for i, d := range e.asn {
+		sch.Assignment[i] = int(d)
+		if d >= 0 {
+			sch.Counts[d]++
+		}
+	}
+	sch.ResponseTime = e.resp
+	w.res.Stats = retrieval.Stats{Engine: "cache"}
+	*dropped = int(e.dropped)
+}
+
+// cacheInsert records the just-solved assignment under the batch's epoch.
+//
+//imflow:noalloc
+func (w *worker) cacheInsert(dropped int) {
+	if w.cache == nil {
+		return
+	}
+	w.cache.insert(&w.prob, w.epoch, &w.res, dropped)
 }
 
 // countDegraded folds one served query into the graceful-degradation
@@ -306,8 +428,13 @@ func (w *worker) solveMasked(dropped *int) error {
 // jitter; exhaustion rejects the query (recorded, served=false).
 func (w *worker) solveFaulty(q *Query, now cost.Micros, dropped, failovers *int) (served bool, err error) {
 	s := w.srv
-	if err := w.solveMasked(dropped); err != nil {
-		return false, err
+	cached := w.probeCache(dropped)
+	if !cached {
+		if err := w.solveMasked(dropped); err != nil {
+			return false, err
+		}
+		w.countSolve()
+		w.cacheInsert(*dropped)
 	}
 	if s.afterSolve != nil {
 		s.afterSolve(w, q)
@@ -328,6 +455,21 @@ func (w *worker) solveFaulty(q *Query, now cost.Micros, dropped, failovers *int)
 		attempt++
 		s.nRetries.Add(1)
 		w.backoff(attempt)
+		if cached {
+			// A cache hit bypassed the solver, so its residual network
+			// does not correspond to this assignment and MarkFailed
+			// cannot repair it in place. Fall back to a full solve under
+			// the refreshed snapshot (the table rebuild picks up any
+			// slowdown changes the refresh observed).
+			cached = false
+			w.buildDiskTable(w.local, now)
+			if err := w.solveMasked(dropped); err != nil {
+				return false, err
+			}
+			w.countSolve()
+			w.cacheInsert(*dropped)
+			continue
+		}
 		for _, d := range w.conflicts {
 			*failovers++
 			s.nFailovers.Add(1)
@@ -349,6 +491,9 @@ func (w *worker) refreshFault(now cost.Micros) {
 	copy(w.slow, s.slow)
 	w.epoch = s.faultEpoch.Load()
 	s.mu.Unlock()
+	// The slowdown factors may have moved: the batch-shared disk table
+	// must be rebuilt before the next query solves against it.
+	w.tableStale = true
 }
 
 // findConflicts collects the disks the current schedule routes through
@@ -392,27 +537,53 @@ func (w *worker) backoff(attempt int) {
 }
 
 // rebuildProblem refreshes the worker's pinned Problem in place for one
-// query: the system's disk parameters with the residual busy time (as seen
-// at now) as the initial load X_j, exactly as sim.Simulator.ProblemAt
-// computes it, plus the query's replica lists.
+// query: the full disk table plus the query's replica lists. The
+// deterministic path uses it per query; the concurrent path shares one
+// table per batch (buildDiskTable + refreshDisk) instead.
 //
 //imflow:noalloc
 func (w *worker) rebuildProblem(busy []cost.Micros, now cost.Micros, replicas [][]int) {
-	for j, d := range w.srv.sys.Disks {
-		load := cost.Micros(0)
-		if busy[j] > now {
-			load = cost.SatSub(busy[j], now)
-		}
-		service, delay := d.Service, d.Delay
-		if f := w.slow[j]; f > 1 {
-			// Transient slowdown (fault injection): the disk serves and
-			// answers f times slower until the chaos SlowEnd.
-			service = cost.SatMul(service, cost.Micros(f))
-			delay = cost.SatMul(delay, cost.Micros(f))
-		}
-		w.prob.Disks[j] = retrieval.DiskParams{Service: service, Delay: delay, Load: load}
-	}
+	w.buildDiskTable(busy, now)
 	w.prob.Replicas = replicas
+}
+
+// buildDiskTable rebuilds the pinned Problem's whole disk table from the
+// busy horizons as seen at now, and clears tableStale.
+//
+//imflow:noalloc
+func (w *worker) buildDiskTable(busy []cost.Micros, now cost.Micros) {
+	for j := range w.srv.sys.Disks {
+		w.refreshDisk(j, busy, now)
+	}
+	w.tableStale = false
+}
+
+// refreshDisk recomputes one disk's table row: the system parameters with
+// the residual busy time (as seen at now) as the initial load X_j, exactly
+// as sim.Simulator.ProblemAt computes it. Cache-enabled workers quantize
+// the load (rounding down to Options.CacheQuantum) so near-identical busy
+// vectors share cache keys.
+//
+//imflow:noalloc
+func (w *worker) refreshDisk(j int, busy []cost.Micros, now cost.Micros) {
+	d := w.srv.sys.Disks[j]
+	load := cost.Micros(0)
+	if busy[j] > now {
+		load = cost.SatSub(busy[j], now)
+	}
+	if w.cache != nil {
+		if quantum := w.srv.opt.CacheQuantum; quantum > 1 {
+			load = cost.SatSub(load, load%quantum)
+		}
+	}
+	service, delay := d.Service, d.Delay
+	if f := w.slow[j]; f > 1 {
+		// Transient slowdown (fault injection): the disk serves and
+		// answers f times slower until the chaos SlowEnd.
+		service = cost.SatMul(service, cost.Micros(f))
+		delay = cost.SatMul(delay, cost.Micros(f))
+	}
+	w.prob.Disks[j] = retrieval.DiskParams{Service: service, Delay: delay, Load: load}
 }
 
 // applyLoads executes the solved schedule against the busy horizons and

@@ -65,15 +65,34 @@ func StdDev(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
 // interpolation between closest ranks. It panics on an empty slice.
+// Callers needing several percentiles of the same sample should use
+// Percentiles, which sorts once.
 func Percentile(xs []float64, p float64) float64 {
+	return Percentiles(xs, p)[0]
+}
+
+// Percentiles returns the requested percentiles of xs over a single sorted
+// copy, in the order given. It panics on an empty sample or a percentile
+// outside [0, 100].
+func Percentiles(xs []float64, ps ...float64) []float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted interpolates the p-th percentile of an already-sorted
+// non-empty sample.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

@@ -57,6 +57,39 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentilesMatchPercentile(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2, 8, 3}
+	ps := []float64{0, 10, 50, 90, 95, 99, 100}
+	got := Percentiles(xs, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("got %d results for %d percentiles", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", p, got[i], want)
+		}
+	}
+	if xs[0] != 9 || xs[7] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentilesPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentiles(nil, 50, 99) },
+		func() { Percentiles([]float64{1}, 50, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)
