@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-baseline lint-accept vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff check
+.PHONY: build test race lint lint-baseline lint-accept vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff profile check
 
 build:
 	$(GO) build ./...
@@ -55,8 +55,8 @@ audit:
 ## failover re-solve carries a max-flow certificate.
 fault-stress:
 	$(GO) test -race -count=3 ./internal/fault/
-	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe|Warm|Cache' ./internal/sim/ ./internal/serve/ ./internal/retrieval/
-	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe|Warm|Cache' ./internal/sim/ ./internal/serve/ ./internal/integration/ ./internal/retrieval/
+	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe|Warm|Cache|Compact|Speculative|BatchPool' ./internal/sim/ ./internal/serve/ ./internal/retrieval/ ./internal/maxflow/...
+	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe|Warm|Cache|Compact|Speculative|BatchPool' ./internal/sim/ ./internal/serve/ ./internal/integration/ ./internal/retrieval/ ./internal/maxflow/...
 
 ## bench: regenerate BENCH_retrieval.json — the steady-state integrated
 ## solve loop (ns/op, allocs/op, work counters) across every engine on the
@@ -85,6 +85,17 @@ bench-fault:
 
 bench-fault-smoke:
 	$(GO) run ./cmd/imflow-serve-bench -fault -smoke -out BENCH_fault.json
+
+## profile: CPU + allocation profiles of the steady-state retrieval suite
+## on one paper-scale cell, written under /tmp/imflow-prof for
+## `go tool pprof`. The cell and repeat count keep the run under a minute
+## while still exercising the CSR hot loops.
+profile:
+	mkdir -p /tmp/imflow-prof
+	$(GO) run ./cmd/imflow-bench -n 60 -queries 10 -repeats 4 \
+		-cpuprofile /tmp/imflow-prof/cpu.pprof -memprofile /tmp/imflow-prof/allocs.pprof \
+		-out /tmp/imflow-prof/BENCH_retrieval.json
+	@echo "profiles in /tmp/imflow-prof: go tool pprof /tmp/imflow-prof/cpu.pprof"
 
 ## bench-diff: run fresh benchmarks into a scratch directory and compare
 ## them against the committed BENCH files. Fails on a >25% ns/op (or qps)

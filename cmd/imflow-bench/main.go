@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -33,7 +35,21 @@ func main() {
 	expNum := flag.Int("exp", 0, "Table IV experiment number (default 2)")
 	baselineMaxN := flag.Int("baseline-max-n", 0,
 		"largest grid the quadratic reference engines (ek, rtf, scaling-ek) run on (default 32)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured suite to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the suite) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var o bench.RetrievalOptions
 	if *smoke {
@@ -71,6 +87,17 @@ func main() {
 	report, err := bench.RunRetrieval(o)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC() // flush the final allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -32,10 +32,23 @@ func (o DiffOptions) withDefaults() DiffOptions {
 
 // sequentialSolver reports whether a solver name denotes a sequential
 // engine, i.e. one covered by the steady-state zero-allocation guarantee.
-// The parallel engine allocates per run (worker bookkeeping) and its wall
-// clock is scheduler-noisy, so it is exempt from both gates.
+// The parallel engine and the speculative prober allocate per run
+// (goroutine fan-out and worker bookkeeping) and their wall clocks are
+// scheduler-noisy, so they are exempt from both gates.
 func sequentialSolver(name string) bool {
-	return !strings.Contains(name, "parallel")
+	return !strings.Contains(name, "parallel") && !strings.Contains(name, "spec")
+}
+
+// cpuMismatch emits the informational note comparing the committed
+// baseline's CPU provenance with the fresh run's: throughput and scaling
+// columns measured on different core counts are not comparable, and the
+// note keeps that from being misread as a regression or an improvement.
+func cpuMismatch(report string, oldCPU, freshCPU int) []string {
+	if oldCPU == freshCPU || oldCPU == 0 || freshCPU == 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf("%s: committed baseline ran on %d CPUs, fresh run on %d — timing and scaling columns are not comparable across core counts",
+		report, oldCPU, freshCPU)}
 }
 
 // unmatchedBaselines reports, informationally, committed entries no fresh
@@ -62,6 +75,7 @@ func unmatchedBaselines(report string, baseline map[string]bool) []string {
 // grid) relies on.
 func DiffRetrieval(old, fresh *RetrievalReport, o DiffOptions) (violations, infos []string) {
 	o = o.withDefaults()
+	infos = append(infos, cpuMismatch("retrieval", old.NumCPU, fresh.NumCPU)...)
 	baseline := make(map[string]RetrievalRecord, len(old.Records))
 	matched := make(map[string]bool, len(old.Records))
 	for _, r := range old.Records {
@@ -107,6 +121,7 @@ func DiffRetrieval(old, fresh *RetrievalReport, o DiffOptions) (violations, info
 // side are informational only.
 func DiffServe(old, fresh *ServeReport, o DiffOptions) (violations, infos []string) {
 	o = o.withDefaults()
+	infos = append(infos, cpuMismatch("serve", old.NumCPU, fresh.NumCPU)...)
 	// Serving passes amortize server and solver construction over the
 	// stream, so their allocation budget is per-pass noise, not the
 	// strict per-op epsilon.

@@ -106,14 +106,15 @@ type FaultRecord struct {
 
 // FaultReport is the BENCH_fault.json document.
 type FaultReport struct {
-	Schema    string        `json:"schema"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Audit     bool          `json:"audit_build"`
-	Options   FaultOptions  `json:"options"`
-	Records   []FaultRecord `json:"records"`
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
+	Audit      bool          `json:"audit_build"`
+	Options    FaultOptions  `json:"options"`
+	Records    []FaultRecord `json:"records"`
 }
 
 // RunFault executes the fault-injection suite: per cell, failover
@@ -122,13 +123,14 @@ type FaultReport struct {
 func RunFault(o FaultOptions) (*FaultReport, error) {
 	o = o.withDefaults()
 	report := &FaultReport{
-		Schema:    "imflow/bench-fault/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Audit:     maxflow.AuditEnabled,
-		Options:   o,
+		Schema:     "imflow/bench-fault/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Audit:      maxflow.AuditEnabled,
+		Options:    o,
 	}
 	for _, n := range o.Ns {
 		cfg := experiment.Config{

@@ -87,6 +87,14 @@ type RetrievalRecord struct {
 	ArcScans       float64 `json:"arc_scans_per_op"`
 	MeanResponseUs float64 `json:"mean_response_us"`
 
+	// CSR records that the solver's networks were frozen into the CSR
+	// adjacency index (flowgraph.Compact) before the measured solves —
+	// records from before the CSR layout carry false here.
+	CSR bool `json:"csr,omitempty"`
+	// ProbeParallelism is the speculative solver's concurrent candidate
+	// thresholds per bisection round; zero for every other solver.
+	ProbeParallelism int `json:"probe_parallelism,omitempty"`
+
 	// Warm* fields measure the cross-query warm-start path: the same
 	// solver re-solving load-perturbed variants of each problem without a
 	// structure change, so every solve after the first reuses the previous
@@ -99,21 +107,24 @@ type RetrievalRecord struct {
 
 // RetrievalReport is the BENCH_retrieval.json document.
 type RetrievalReport struct {
-	Schema    string            `json:"schema"`
-	GoVersion string            `json:"go_version"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	NumCPU    int               `json:"num_cpu"`
-	Audit     bool              `json:"audit_build"`
-	Options   RetrievalOptions  `json:"options"`
-	Records   []RetrievalRecord `json:"records"`
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	Audit      bool              `json:"audit_build"`
+	Options    RetrievalOptions  `json:"options"`
+	Records    []RetrievalRecord `json:"records"`
 }
 
 // benchSolver pairs a solver constructor with whether it is a quadratic
-// reference baseline (subject to RetrievalOptions.BaselineMaxN).
+// reference baseline (subject to RetrievalOptions.BaselineMaxN) and, for
+// the speculative solver, its probe width.
 type benchSolver struct {
 	mk       func() retrieval.ReusableSolver
 	baseline bool
+	probes   int
 }
 
 // retrievalSolvers enumerates every benchmarked solver: the integrated
@@ -127,6 +138,7 @@ func retrievalSolvers(threads int) []benchSolver {
 		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryBlackBox() }},
 		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryHighestLabel() }},
 		{mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinaryParallel(threads) }},
+		{probes: threads, mk: func() retrieval.ReusableSolver { return retrieval.NewPRBinarySpeculative(threads) }},
 		{baseline: true, mk: func() retrieval.ReusableSolver {
 			return retrieval.NewPRBinaryWithEngine("pr-binary-ek",
 				func(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewEdmondsKarp(g) })
@@ -153,13 +165,14 @@ func retrievalSolvers(threads int) []benchSolver {
 func RunRetrieval(o RetrievalOptions) (*RetrievalReport, error) {
 	o = o.withDefaults()
 	report := &RetrievalReport{
-		Schema:    "imflow/bench-retrieval/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Audit:     maxflow.AuditEnabled,
-		Options:   o,
+		Schema:     "imflow/bench-retrieval/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Audit:      maxflow.AuditEnabled,
+		Options:    o,
 	}
 	for _, n := range o.Ns {
 		cfg := experiment.Config{
@@ -198,6 +211,10 @@ func RunRetrieval(o RetrievalOptions) (*RetrievalReport, error) {
 			}
 			rec.Cell = cfg.String()
 			rec.N = n
+			// Every network-backed solver now freezes its rebuilt network
+			// into the CSR index before solving.
+			rec.CSR = true
+			rec.ProbeParallelism = bs.probes
 			warmNs, warmAllocs, err := measureWarm(bs.mk(), bs.mk(), inst.Problems, o.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cell %s: warm %s: %w", cfg, rec.Solver, err)

@@ -34,14 +34,21 @@ func TestRunRetrievalSmoke(t *testing.T) {
 		if r.WarmNsPerOp <= 0 || r.WarmSpeedup <= 0 {
 			t.Errorf("%s: warm path not measured: %v ns/op, %vx", r.Solver, r.WarmNsPerOp, r.WarmSpeedup)
 		}
+		if !r.CSR {
+			t.Errorf("%s: record does not mark the CSR layout", r.Solver)
+		}
+		if spec := r.Solver == "pr-binary-spec(2)"; spec != (r.ProbeParallelism > 0) {
+			t.Errorf("%s: probe_parallelism %d", r.Solver, r.ProbeParallelism)
+		}
 	}
 	if maxflow.AuditEnabled {
 		return // audit hooks allocate; the alloc gate only holds in normal builds
 	}
 	for _, r := range report.Records {
-		// The parallel engine allocates per run (goroutine machinery); every
-		// sequential solver must be allocation-free in steady state.
-		if r.Solver == "pr-binary-parallel(2)" {
+		// The parallel engine and the speculative prober allocate per run
+		// (goroutine machinery); every sequential solver must be
+		// allocation-free in steady state.
+		if !sequentialSolver(r.Solver) {
 			continue
 		}
 		if r.AllocsPerOp != 0 {

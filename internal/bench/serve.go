@@ -30,6 +30,13 @@ type ServeOptions struct {
 	ExpNum     int    `json:"exp_num"`     // Table IV experiment (default 2)
 	MeanGapMs  int    `json:"mean_gap_ms"` // Poisson arrival mean gap (virtual clock)
 
+	// BatchParallelism is the intra-batch solver-pool width for the
+	// "serve-bp" sweep (serve.Options.BatchParallelism); the sweep runs
+	// once per worker count on the same stream as the plain "serve"
+	// records, so pooled vs serial throughput is a same-workload ratio.
+	// Default 2.
+	BatchParallelism int `json:"batch_parallelism"`
+
 	// Hot-workload sweep: the stream is rewritten so HotPercent% of the
 	// queries draw their replica structure from a pool of HotShapes
 	// recurring shapes, and the cell is measured twice per worker count —
@@ -80,6 +87,9 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	if o.CacheQuantumUs <= 0 {
 		o.CacheQuantumUs = 50_000
 	}
+	if o.BatchParallelism <= 0 {
+		o.BatchParallelism = 2
+	}
 	return o
 }
 
@@ -101,6 +111,9 @@ type ServeRecord struct {
 	Workers int    `json:"workers"`
 	Queries int    `json:"queries"`
 	Batch   int    `json:"batch,omitempty"`
+	// BatchParallelism is the intra-batch solver-pool width ("serve-bp"
+	// records only; zero on serial-path records).
+	BatchParallelism int `json:"batch_parallelism,omitempty"`
 
 	ElapsedNs int64   `json:"elapsed_ns"`
 	QPS       float64 `json:"queries_per_sec"`
@@ -136,14 +149,15 @@ type ServeRecord struct {
 
 // ServeReport is the BENCH_serve.json document.
 type ServeReport struct {
-	Schema    string        `json:"schema"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Audit     bool          `json:"audit_build"`
-	Options   ServeOptions  `json:"options"`
-	Records   []ServeRecord `json:"records"`
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
+	Audit      bool          `json:"audit_build"`
+	Options    ServeOptions  `json:"options"`
+	Records    []ServeRecord `json:"records"`
 }
 
 // timingScheduler wraps a scheduler and records per-query wall-clock
@@ -170,13 +184,14 @@ func (t *timingScheduler) Schedule(p *retrieval.Problem) (*retrieval.Schedule, e
 func RunServe(o ServeOptions) (*ServeReport, error) {
 	o = o.withDefaults()
 	report := &ServeReport{
-		Schema:    "imflow/bench-serve/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Audit:     maxflow.AuditEnabled,
-		Options:   o,
+		Schema:     "imflow/bench-serve/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Audit:      maxflow.AuditEnabled,
+		Options:    o,
 	}
 	for _, n := range o.Ns {
 		cfg := experiment.Config{
@@ -231,13 +246,23 @@ func RunServe(o ServeOptions) (*ServeReport, error) {
 		report.Records = append(report.Records, replayRec)
 
 		for _, w := range o.Workers {
-			rec, err := measureServe(inst.System, stream, w, o, "serve", false)
+			rec, err := measureServe(inst.System, stream, w, o, "serve", false, 0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cell %s: %d workers: %w", cfg, w, err)
 			}
 			rec.Cell, rec.N = cfg.String(), n
 			rec.SpeedupVsReplay = rec.QPS / replayRec.QPS
 			report.Records = append(report.Records, rec)
+
+			// Same stream through the intra-batch solver pool: pooled vs
+			// serial throughput as a same-workload ratio.
+			bpRec, err := measureServe(inst.System, stream, w, o, "serve-bp", false, o.BatchParallelism)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s: %d workers batch-pool: %w", cfg, w, err)
+			}
+			bpRec.Cell, bpRec.N = cfg.String(), n
+			bpRec.SpeedupVsReplay = bpRec.QPS / replayRec.QPS
+			report.Records = append(report.Records, bpRec)
 		}
 
 		// Hot workload: the repeated-query stream that warm starts and the
@@ -245,14 +270,14 @@ func RunServe(o ServeOptions) (*ServeReport, error) {
 		// count so the cache's win is a same-workload ratio.
 		hot := hotStream(stream, o.HotShapes, o.HotPercent, cfg.Seed)
 		for _, w := range o.Workers {
-			hotRec, err := measureServe(inst.System, hot, w, o, "serve-hot", false)
+			hotRec, err := measureServe(inst.System, hot, w, o, "serve-hot", false, 0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cell %s: hot %d workers: %w", cfg, w, err)
 			}
 			hotRec.Cell, hotRec.N = cfg.String(), n
 			report.Records = append(report.Records, hotRec)
 
-			cachedRec, err := measureServe(inst.System, hot, w, o, "serve-hot-cached", true)
+			cachedRec, err := measureServe(inst.System, hot, w, o, "serve-hot-cached", true, 0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: cell %s: hot-cached %d workers: %w", cfg, w, err)
 			}
@@ -334,13 +359,15 @@ func measureReplay(sys *storage.System, stream []sim.Query) (ServeRecord, []cost
 // measureServe times one saturation pass of the concurrent server: the
 // whole stream is admitted as fast as the bounded queues accept and the
 // pass ends when the last shard drains. cached enables the per-worker
-// solve cache with the options' size and quantum.
-func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeOptions, mode string, cached bool) (ServeRecord, error) {
+// solve cache with the options' size and quantum; batchParallelism >= 2
+// fans each admission batch across the intra-batch solver pool.
+func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeOptions, mode string, cached bool, batchParallelism int) (ServeRecord, error) {
 	rec := ServeRecord{
 		Mode: mode, Solver: "pr-binary",
 		Workers: workers, Queries: len(stream), Batch: o.Batch,
+		BatchParallelism: batchParallelism,
 	}
-	sopt := serve.Options{Workers: workers, QueueDepth: o.QueueDepth, Batch: o.Batch}
+	sopt := serve.Options{Workers: workers, QueueDepth: o.QueueDepth, Batch: o.Batch, BatchParallelism: batchParallelism}
 	if cached {
 		sopt.CacheSize = o.CacheSize
 		sopt.CacheQuantum = cost.Micros(o.CacheQuantumUs)

@@ -15,10 +15,11 @@ func TestRunServeShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One replay record, then per worker count one serve record plus the
-	// hot-workload pair (uncached and cached), per cell.
-	if len(report.Records) != 7 {
-		t.Fatalf("%d records, want 7", len(report.Records))
+	// One replay record, then per worker count one serve record, one
+	// batch-pool serve record, and the hot-workload pair (uncached and
+	// cached), per cell.
+	if len(report.Records) != 9 {
+		t.Fatalf("%d records, want 9", len(report.Records))
 	}
 	replay := report.Records[0]
 	if replay.Mode != "replay" || !replay.DeterministicMatch {
@@ -50,6 +51,12 @@ func TestRunServeShape(t *testing.T) {
 		}
 		if r.Mode == "serve-hot" && r.WarmRate <= 0 {
 			t.Errorf("workers=%d: hot run never warm-started: %+v", r.Workers, r)
+		}
+		if bp := r.Mode == "serve-bp"; bp != (r.BatchParallelism > 0) {
+			t.Errorf("%s workers=%d: batch_parallelism %d", r.Mode, r.Workers, r.BatchParallelism)
+		}
+		if r.Mode == "serve-bp" && r.SpeedupVsReplay <= 0 {
+			t.Errorf("workers=%d: batch-pool speedup %v", r.Workers, r.SpeedupVsReplay)
 		}
 	}
 	if hotCached != 2 {

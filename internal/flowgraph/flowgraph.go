@@ -28,6 +28,17 @@ type Graph struct {
 	Flow []int64 // Flow[a]: current flow; Flow[a^1] == -Flow[a]
 	Next []int32 // Next[a]: next arc out of the same tail, -1 terminates
 	Head []int32 // Head[v]: first arc out of v, -1 if none
+
+	// CSR adjacency index, valid only while frozen (see Compact). The
+	// arcs out of vertex v are ArcIdx[Start[v]:Start[v+1]], listed in
+	// exactly Head/Next order so engines scanning either view visit
+	// arcs in the same sequence. Arc indices themselves never move:
+	// Cap/Flow/To stay keyed by the original AddEdge indices, which is
+	// what keeps warm reuse, DrainExcess, and disk-arc retuning valid
+	// across compaction.
+	Start  []int32 // Start[v]: first slot of v's arc range; len N+1
+	ArcIdx []int32 // ArcIdx[i]: arc id at CSR slot i; len M
+	frozen bool
 }
 
 // New returns an empty graph over n vertices.
@@ -72,6 +83,7 @@ func (g *Graph) Resize(n int) {
 		g.Head[i] = -1
 	}
 	g.N = n
+	g.frozen = false
 }
 
 // M returns the number of arcs, counting each edge's forward and reverse
@@ -97,7 +109,67 @@ func (g *Graph) AddEdge(u, v int, capacity int64) int {
 	g.Next = append(g.Next, g.Head[u], g.Head[v])
 	g.Head[u] = a
 	g.Head[v] = a + 1
+	g.frozen = false
 	return int(a)
+}
+
+// Compacted reports whether the CSR adjacency index is valid. Any AddEdge
+// or Resize since the last Compact invalidates it.
+func (g *Graph) Compacted() bool { return g.frozen }
+
+// Compact freezes the current arc set into the CSR adjacency index: after
+// it returns, ArcIdx[Start[v]:Start[v+1]] lists the arcs out of v in
+// exactly Head/Next order, and engines traverse those contiguous ranges
+// instead of chasing the Next linked list through memory. Arc indices are
+// NOT remapped — Cap, Flow, To, and every arc id returned by AddEdge keep
+// their meaning — so flows, snapshots, and retuning by arc index survive
+// compaction unchanged. Adding an edge or resizing thaws the graph; call
+// Compact again after a rebuild. Backing arrays are reused across calls,
+// so re-compacting a same-shape rebuild performs no allocations.
+// Amortized: growth only when the arc set outgrows prior capacity.
+//
+//imflow:allocok
+func (g *Graph) Compact() {
+	if cap(g.Start) < g.N+1 {
+		g.Start = make([]int32, g.N+1)
+	}
+	g.Start = g.Start[:g.N+1]
+	if cap(g.ArcIdx) < len(g.To) {
+		g.ArcIdx = make([]int32, 0, len(g.To))
+	}
+	g.ArcIdx = g.ArcIdx[:0]
+	// Single pass over the adjacency chains: the CSR index is defined as
+	// "whatever the Head/Next walk visits, in that order", so it is built
+	// by exactly that walk. (An arc a linked into no chain — possible only
+	// for degenerate edges — is absent from ArcIdx, matching the list
+	// traversal that would never reach it either.)
+	for v := 0; v < g.N; v++ {
+		g.Start[v] = int32(len(g.ArcIdx))
+		for a := g.Head[v]; a >= 0; a = g.Next[a] {
+			g.ArcIdx = append(g.ArcIdx, a)
+		}
+	}
+	g.Start[g.N] = int32(len(g.ArcIdx))
+	g.frozen = true
+}
+
+// CopyFrom overwrites g with a deep copy of src, reusing g's backing
+// arrays when they are large enough. It is the amortized counterpart of
+// Clone for the speculative probers, which copy the shared network into
+// per-goroutine scratch graphs once per probe round.
+// Amortized: allocates only while g's arrays are smaller than src's.
+//
+//imflow:allocok
+func (g *Graph) CopyFrom(src *Graph) {
+	g.N = src.N
+	g.To = append(g.To[:0], src.To...)
+	g.Cap = append(g.Cap[:0], src.Cap...)
+	g.Flow = append(g.Flow[:0], src.Flow...)
+	g.Next = append(g.Next[:0], src.Next...)
+	g.Head = append(g.Head[:0], src.Head...)
+	g.Start = append(g.Start[:0], src.Start...)
+	g.ArcIdx = append(g.ArcIdx[:0], src.ArcIdx...)
+	g.frozen = src.frozen
 }
 
 // Residual returns the residual capacity of arc a.
@@ -285,12 +357,15 @@ func (g *Graph) CheckFlow(s, t int) (int64, error) {
 // Clone returns a deep copy of the graph, including flows.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		N:    g.N,
-		To:   append([]int32(nil), g.To...),
-		Cap:  append([]int64(nil), g.Cap...),
-		Flow: append([]int64(nil), g.Flow...),
-		Next: append([]int32(nil), g.Next...),
-		Head: append([]int32(nil), g.Head...),
+		N:      g.N,
+		To:     append([]int32(nil), g.To...),
+		Cap:    append([]int64(nil), g.Cap...),
+		Flow:   append([]int64(nil), g.Flow...),
+		Next:   append([]int32(nil), g.Next...),
+		Head:   append([]int32(nil), g.Head...),
+		Start:  append([]int32(nil), g.Start...),
+		ArcIdx: append([]int32(nil), g.ArcIdx...),
+		frozen: g.frozen,
 	}
 	return c
 }

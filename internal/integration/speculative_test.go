@@ -1,0 +1,92 @@
+package integration
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"imflow/internal/experiment"
+	"imflow/internal/query"
+	"imflow/internal/retrieval"
+)
+
+// TestSpeculativePaperGridBitIdentical is the acceptance check for
+// speculative candidate-time probing: over a Table IV evaluation cell,
+// the speculative solver at 1, 2, and 4 probes must reproduce the
+// sequential pr-binary response time bit for bit — healthy, and with the
+// one and two busiest disks masked (the failover cross-check geometry).
+// Under the imflow_audit build tag every probe additionally carries a
+// max-flow certificate on its scratch graph, so `make audit` certifies
+// the speculative runs themselves.
+func TestSpeculativePaperGridBitIdentical(t *testing.T) {
+	queries := 6
+	if testing.Short() {
+		queries = 2
+	}
+	cfg := experiment.Config{
+		ExpNum:  5,
+		Alloc:   experiment.RDA,
+		Type:    query.Range,
+		Load:    query.Load2,
+		N:       6,
+		Queries: queries,
+		Seed:    2012,
+	}
+	inst, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probes := range []int{1, 2, 4} {
+		probes := probes
+		t.Run(fmt.Sprintf("probes=%d", probes), func(t *testing.T) {
+			seq := retrieval.NewPRBinary()
+			spec := retrieval.NewPRBinarySpeculative(probes)
+			for qi, p := range inst.Problems {
+				sres, spres := &retrieval.Result{}, &retrieval.Result{}
+				if err := seq.SolveInto(p, sres); err != nil {
+					t.Fatalf("query %d: sequential: %v", qi, err)
+				}
+				if err := spec.SolveInto(p, spres); err != nil {
+					t.Fatalf("query %d: speculative: %v", qi, err)
+				}
+				if err := p.ValidateSchedule(spres.Schedule); err != nil {
+					t.Fatalf("query %d: speculative schedule: %v", qi, err)
+				}
+				if sres.Schedule.ResponseTime != spres.Schedule.ResponseTime {
+					t.Fatalf("query %d: healthy: sequential %v, speculative %v",
+						qi, sres.Schedule.ResponseTime, spres.Schedule.ResponseTime)
+				}
+
+				mask := retrieval.NewDiskMask(len(p.Disks))
+				for round := 1; round <= 2; round++ {
+					fail := busiestLiveDisk(sres.Schedule, mask)
+					if fail < 0 {
+						break
+					}
+					mask.MarkFailed(fail)
+					wantDead := gridDeadBuckets(p, mask)
+
+					serr := retrieval.NewPRBinary().SolveMaskedInto(p, mask, sres)
+					if serr != nil && !errors.Is(serr, retrieval.ErrInfeasible) {
+						t.Fatalf("query %d: sequential masked: %v", qi, serr)
+					}
+					sperr := retrieval.NewPRBinarySpeculative(probes).SolveMaskedInto(p, mask, spres)
+					if sperr != nil && !errors.Is(sperr, retrieval.ErrInfeasible) {
+						t.Fatalf("query %d: speculative masked: %v", qi, sperr)
+					}
+					if (serr == nil) != (sperr == nil) {
+						t.Fatalf("query %d: %d failures: infeasibility disagreement: sequential=%v speculative=%v",
+							qi, round, serr, sperr)
+					}
+					if err := p.ValidatePartialSchedule(spres.Schedule, wantDead); err != nil {
+						t.Fatalf("query %d: %d failures: speculative masked schedule: %v", qi, round, err)
+					}
+					if sres.Schedule.ResponseTime != spres.Schedule.ResponseTime {
+						t.Fatalf("query %d: %d failures: sequential %v, speculative %v",
+							qi, round, sres.Schedule.ResponseTime, spres.Schedule.ResponseTime)
+					}
+				}
+			}
+		})
+	}
+}

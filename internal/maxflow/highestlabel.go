@@ -29,6 +29,10 @@ type HighestLabel struct {
 	// negative disables periodic recomputation.
 	GlobalRelabelInterval int
 
+	// csr as in PushRelabel: latched from g.Compacted() at Run start;
+	// curArc holds CSR positions instead of arc ids while set.
+	csr bool
+
 	metrics Metrics
 }
 
@@ -77,12 +81,24 @@ func (hl *HighestLabel) Run(s, t int) int64 {
 		hl.active[h] = hl.active[h][:0]
 	}
 	hl.highest = 0
+	hl.csr = g.Compacted()
 
-	for a := g.Head[s]; a >= 0; a = g.Next[a] {
-		if delta := g.Residual(int(a)); delta > 0 {
-			g.Push(int(a), delta)
-			hl.excess[g.To[a]] += delta
-			hl.metrics.Pushes++
+	if hl.csr {
+		for pos := g.Start[s]; pos < g.Start[s+1]; pos++ {
+			a := g.ArcIdx[pos]
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				hl.excess[g.To[a]] += delta
+				hl.metrics.Pushes++
+			}
+		}
+	} else {
+		for a := g.Head[s]; a >= 0; a = g.Next[a] {
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				hl.excess[g.To[a]] += delta
+				hl.metrics.Pushes++
+			}
 		}
 	}
 	hl.globalRelabel(s, t)
@@ -122,6 +138,9 @@ func (hl *HighestLabel) Run(s, t int) int64 {
 // discharge pushes v's excess to admissible neighbors, relabeling once if
 // none remain (caller requeues).
 func (hl *HighestLabel) discharge(v, s, t int) (relabeled bool) {
+	if hl.csr {
+		return hl.dischargeCSR(v, s, t)
+	}
 	g := hl.g
 	for hl.excess[v] > 0 {
 		a := hl.curArc[v]
@@ -150,17 +169,72 @@ func (hl *HighestLabel) discharge(v, s, t int) (relabeled bool) {
 	return false
 }
 
+// dischargeCSR is discharge over the frozen CSR ranges (same arc order as
+// the linked-list walk; curArc holds positions, exhaustion is the range
+// end).
+func (hl *HighestLabel) dischargeCSR(v, s, t int) (relabeled bool) {
+	g := hl.g
+	end := g.Start[v+1]
+	for hl.excess[v] > 0 {
+		pos := hl.curArc[v]
+		if pos >= end {
+			hl.relabel(v, s, t)
+			return true
+		}
+		a := g.ArcIdx[pos]
+		hl.metrics.ArcScans++
+		w := g.To[a]
+		if g.Residual(int(a)) > 0 && hl.height[v] == hl.height[w]+1 {
+			delta := hl.excess[v]
+			if r := g.Residual(int(a)); r < delta {
+				delta = r
+			}
+			g.Push(int(a), delta)
+			hl.excess[v] -= delta
+			hl.excess[w] += delta
+			hl.metrics.Pushes++
+			if int(w) != s && int(w) != t {
+				hl.push(w)
+			}
+			continue
+		}
+		hl.curArc[v] = pos + 1
+	}
+	return false
+}
+
+// firstArc returns the reset value for curArc[v] in the active traversal
+// mode.
+func (hl *HighestLabel) firstArc(v int) int32 {
+	if hl.csr {
+		return hl.g.Start[v]
+	}
+	return hl.g.Head[v]
+}
+
 // relabel lifts v to one above its lowest residual neighbor, with the gap
 // heuristic.
 func (hl *HighestLabel) relabel(v, s, t int) {
 	g := hl.g
 	n := int32(g.N)
 	minH := int32(2 * g.N)
-	for a := g.Head[v]; a >= 0; a = g.Next[a] {
-		hl.metrics.ArcScans++
-		if g.Residual(int(a)) > 0 {
-			if h := hl.height[g.To[a]]; h < minH {
-				minH = h
+	if hl.csr {
+		for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+			a := g.ArcIdx[pos]
+			hl.metrics.ArcScans++
+			if g.Residual(int(a)) > 0 {
+				if h := hl.height[g.To[a]]; h < minH {
+					minH = h
+				}
+			}
+		}
+	} else {
+		for a := g.Head[v]; a >= 0; a = g.Next[a] {
+			hl.metrics.ArcScans++
+			if g.Residual(int(a)) > 0 {
+				if h := hl.height[g.To[a]]; h < minH {
+					minH = h
+				}
 			}
 		}
 	}
@@ -170,13 +244,13 @@ func (hl *HighestLabel) relabel(v, s, t int) {
 		newH = 2 * n
 	}
 	if newH <= old {
-		hl.curArc[v] = g.Head[v]
+		hl.curArc[v] = hl.firstArc(v)
 		return
 	}
 	hl.hcount[old]--
 	hl.height[v] = newH
 	hl.hcount[newH]++
-	hl.curArc[v] = g.Head[v]
+	hl.curArc[v] = hl.firstArc(v)
 	hl.metrics.Relabels++
 
 	if hl.hcount[old] == 0 && old < n {
@@ -188,7 +262,7 @@ func (hl *HighestLabel) relabel(v, s, t int) {
 				hl.hcount[h]--
 				hl.height[u] = n + 1
 				hl.hcount[n+1]++
-				hl.curArc[u] = g.Head[u]
+				hl.curArc[u] = hl.firstArc(u)
 			}
 		}
 		hl.rebuildBuckets(s, t)
@@ -255,7 +329,7 @@ func (hl *HighestLabel) globalRelabel(s, t int) {
 	hl.metrics.GlobalRelabels++
 	for i := 0; i < g.N; i++ {
 		hl.height[i] = 2 * n
-		hl.curArc[i] = g.Head[i]
+		hl.curArc[i] = hl.firstArc(i)
 	}
 	for i := range hl.hcount[:2*g.N+1] {
 		hl.hcount[i] = 0
@@ -265,6 +339,18 @@ func (hl *HighestLabel) globalRelabel(s, t int) {
 		q := append(hl.bfsq[:0], int32(root))
 		for head := 0; head < len(q); head++ {
 			v := q[head]
+			if hl.csr {
+				for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+					a := g.ArcIdx[pos]
+					hl.metrics.ArcScans++
+					u := g.To[a]
+					if g.Residual(int(a)^1) > 0 && hl.height[u] == 2*n && int(u) != s && int(u) != t {
+						hl.height[u] = hl.height[v] + 1
+						q = append(q, u)
+					}
+				}
+				continue
+			}
 			for a := g.Head[v]; a >= 0; a = g.Next[a] {
 				hl.metrics.ArcScans++
 				u := g.To[a]

@@ -84,6 +84,13 @@ type Solver struct {
 	grWork      atomic.Int64
 	grThreshold int64
 
+	// csr is latched from g.Compacted() during Run's sequential
+	// preparation, before any worker starts, and read-only afterwards:
+	// dischargers and the BFS passes scan the frozen Start/ArcIdx ranges
+	// instead of chasing Next. The arc order matches the linked list, so
+	// runs are bit-identical either way.
+	csr bool
+
 	pushes   atomic.Int64
 	relabels atomic.Int64
 
@@ -167,11 +174,23 @@ func (s *Solver) Run(src, sink int) int64 {
 		s.inQueue[v] = 0
 	}
 	// Saturate residual source arcs, creating the initial excesses.
-	for a := g.Head[src]; a >= 0; a = g.Next[a] {
-		if delta := s.res[a]; delta > 0 {
-			s.res[a] = 0
-			s.res[a^1] += delta
-			s.excess[g.To[a]] += delta
+	s.csr = g.Compacted()
+	if s.csr {
+		for pos := g.Start[src]; pos < g.Start[src+1]; pos++ {
+			a := g.ArcIdx[pos]
+			if delta := s.res[a]; delta > 0 {
+				s.res[a] = 0
+				s.res[a^1] += delta
+				s.excess[g.To[a]] += delta
+			}
+		}
+	} else {
+		for a := g.Head[src]; a >= 0; a = g.Next[a] {
+			if delta := s.res[a]; delta > 0 {
+				s.res[a] = 0
+				s.res[a^1] += delta
+				s.excess[g.To[a]] += delta
+			}
 		}
 	}
 	s.exactHeights(src, sink)
@@ -285,13 +304,26 @@ func (s *Solver) discharge(v, src, sink int) {
 		// vanish before our push attempt.
 		minH := int64(1) << 62
 		minArc := int32(-1)
-		for a := g.Head[v]; a >= 0; a = g.Next[a] {
-			if atomic.LoadInt64(&s.res[a]) <= 0 {
-				continue
+		if s.csr {
+			for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+				a := g.ArcIdx[pos]
+				if atomic.LoadInt64(&s.res[a]) <= 0 {
+					continue
+				}
+				if h := atomic.LoadInt64(&s.height[g.To[a]]); h < minH {
+					minH = h
+					minArc = a
+				}
 			}
-			if h := atomic.LoadInt64(&s.height[g.To[a]]); h < minH {
-				minH = h
-				minArc = a
+		} else {
+			for a := g.Head[v]; a >= 0; a = g.Next[a] {
+				if atomic.LoadInt64(&s.res[a]) <= 0 {
+					continue
+				}
+				if h := atomic.LoadInt64(&s.height[g.To[a]]); h < minH {
+					minH = h
+					minArc = a
+				}
 			}
 		}
 		if minArc < 0 {
@@ -505,6 +537,17 @@ func (s *Solver) bfsHeights(dist []int64, src, sink int) {
 	q := append(s.bfsq[:0], int32(sink))
 	for head := 0; head < len(q); head++ {
 		v := q[head]
+		if s.csr {
+			for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+				a := g.ArcIdx[pos]
+				u := g.To[a]
+				if atomic.LoadInt64(&s.res[int(a)^1]) > 0 && dist[u] == n && int(u) != src && int(u) != sink {
+					dist[u] = dist[v] + 1
+					q = append(q, u)
+				}
+			}
+			continue
+		}
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
 			u := g.To[a]
 			if atomic.LoadInt64(&s.res[int(a)^1]) > 0 && dist[u] == n && int(u) != src && int(u) != sink {
@@ -531,6 +574,17 @@ func (s *Solver) exactHeights(src, sink int) {
 	q := append(s.bfsq[:0], int32(sink))
 	for head := 0; head < len(q); head++ {
 		v := q[head]
+		if s.csr {
+			for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+				a := g.ArcIdx[pos]
+				u := g.To[a]
+				if s.res[a^1] > 0 && s.height[u] == n && int(u) != src && int(u) != sink {
+					s.height[u] = s.height[v] + 1
+					q = append(q, u)
+				}
+			}
+			continue
+		}
 		for a := g.Head[v]; a >= 0; a = g.Next[a] {
 			u := g.To[a]
 			// residual arc u->v exists iff the dual arc has capacity left

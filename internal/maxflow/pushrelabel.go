@@ -40,6 +40,13 @@ type PushRelabel struct {
 	// relabeling (the exact initialization still runs).
 	GlobalRelabelInterval int
 
+	// csr is latched from g.Compacted() at the top of Run. In CSR mode
+	// curArc[v] holds a position into g.ArcIdx (range end g.Start[v+1])
+	// instead of an arc id, and every adjacency walk scans the frozen
+	// contiguous range — same arcs, same order, so runs are bit-identical
+	// to the linked-list traversal.
+	csr bool
+
 	metrics Metrics
 }
 
@@ -85,14 +92,26 @@ func (pr *PushRelabel) Run(s, t int) int64 {
 		pr.inQueue[i] = false
 	}
 	pr.queue = pr.queue[:0]
+	pr.csr = g.Compacted()
 
 	// Saturate residual source arcs: the current flow plus these pushes is
 	// a preflow whose excesses sit at the source's neighbors.
-	for a := g.Head[s]; a >= 0; a = g.Next[a] {
-		if delta := g.Residual(int(a)); delta > 0 {
-			g.Push(int(a), delta)
-			pr.excess[g.To[a]] += delta
-			pr.metrics.Pushes++
+	if pr.csr {
+		for pos := g.Start[s]; pos < g.Start[s+1]; pos++ {
+			a := g.ArcIdx[pos]
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				pr.excess[g.To[a]] += delta
+				pr.metrics.Pushes++
+			}
+		}
+	} else {
+		for a := g.Head[s]; a >= 0; a = g.Next[a] {
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				pr.excess[g.To[a]] += delta
+				pr.metrics.Pushes++
+			}
 		}
 	}
 	pr.globalRelabel(s, t)
@@ -134,6 +153,9 @@ func (pr *PushRelabel) Run(s, t int) int64 {
 // relabels v once and returns true (FIFO discipline: the caller requeues v
 // if it still has excess).
 func (pr *PushRelabel) discharge(v, s, t int) (relabeled bool) {
+	if pr.csr {
+		return pr.dischargeCSR(v, s, t)
+	}
 	g := pr.g
 	for pr.excess[v] > 0 {
 		a := pr.curArc[v]
@@ -164,17 +186,72 @@ func (pr *PushRelabel) discharge(v, s, t int) (relabeled bool) {
 	return false
 }
 
+// dischargeCSR is discharge over the frozen CSR ranges: curArc[v] is a
+// position into g.ArcIdx and exhaustion is the end of v's contiguous
+// range. The arc sequence matches the linked-list walk exactly.
+func (pr *PushRelabel) dischargeCSR(v, s, t int) (relabeled bool) {
+	g := pr.g
+	end := g.Start[v+1]
+	for pr.excess[v] > 0 {
+		pos := pr.curArc[v]
+		if pos >= end {
+			pr.relabel(v, s, t)
+			return true
+		}
+		a := g.ArcIdx[pos]
+		pr.metrics.ArcScans++
+		w := g.To[a]
+		if g.Residual(int(a)) > 0 && pr.height[v] == pr.height[w]+1 {
+			delta := pr.excess[v]
+			if r := g.Residual(int(a)); r < delta {
+				delta = r
+			}
+			g.Push(int(a), delta)
+			pr.excess[v] -= delta
+			pr.excess[w] += delta
+			pr.metrics.Pushes++
+			if int(w) != s && int(w) != t && !pr.inQueue[w] {
+				pr.enqueue(w)
+			}
+			continue // the same arc may still be admissible
+		}
+		pr.curArc[v] = pos + 1
+	}
+	return false
+}
+
+// firstArc returns the reset value for curArc[v]: the first CSR position
+// in frozen mode, the head arc id otherwise.
+func (pr *PushRelabel) firstArc(v int) int32 {
+	if pr.csr {
+		return pr.g.Start[v]
+	}
+	return pr.g.Head[v]
+}
+
 // relabel lifts v to one above its lowest residual neighbor, applying the
 // gap heuristic when v's old height level empties out.
 func (pr *PushRelabel) relabel(v, s, t int) {
 	g := pr.g
 	n := int32(g.N)
 	minH := int32(2 * g.N) // "unreachable" ceiling
-	for a := g.Head[v]; a >= 0; a = g.Next[a] {
-		pr.metrics.ArcScans++
-		if g.Residual(int(a)) > 0 {
-			if h := pr.height[g.To[a]]; h < minH {
-				minH = h
+	if pr.csr {
+		for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+			a := g.ArcIdx[pos]
+			pr.metrics.ArcScans++
+			if g.Residual(int(a)) > 0 {
+				if h := pr.height[g.To[a]]; h < minH {
+					minH = h
+				}
+			}
+		}
+	} else {
+		for a := g.Head[v]; a >= 0; a = g.Next[a] {
+			pr.metrics.ArcScans++
+			if g.Residual(int(a)) > 0 {
+				if h := pr.height[g.To[a]]; h < minH {
+					minH = h
+				}
 			}
 		}
 	}
@@ -186,13 +263,13 @@ func (pr *PushRelabel) relabel(v, s, t int) {
 	if newH <= old {
 		// Heights are monotone; a stale current-arc pointer is the only way
 		// to get here, and resetting it retries the scan.
-		pr.curArc[v] = g.Head[v]
+		pr.curArc[v] = pr.firstArc(v)
 		return
 	}
 	pr.hcount[old]--
 	pr.height[v] = newH
 	pr.hcount[newH]++
-	pr.curArc[v] = g.Head[v]
+	pr.curArc[v] = pr.firstArc(v)
 	pr.metrics.Relabels++
 
 	// Gap heuristic: if no vertex remains at height `old` and old < n, no
@@ -207,7 +284,7 @@ func (pr *PushRelabel) relabel(v, s, t int) {
 				pr.hcount[h]--
 				pr.height[u] = n + 1
 				pr.hcount[n+1]++
-				pr.curArc[u] = g.Head[u]
+				pr.curArc[u] = pr.firstArc(u)
 			}
 		}
 	}
@@ -223,7 +300,7 @@ func (pr *PushRelabel) globalRelabel(s, t int) {
 	pr.metrics.GlobalRelabels++
 	for i := 0; i < g.N; i++ {
 		pr.height[i] = 2 * n
-		pr.curArc[i] = g.Head[i]
+		pr.curArc[i] = pr.firstArc(i)
 	}
 	for i := range pr.hcount[:2*g.N+1] {
 		pr.hcount[i] = 0
@@ -236,6 +313,18 @@ func (pr *PushRelabel) globalRelabel(s, t int) {
 		q := append(pr.bfsq[:0], int32(root))
 		for head := 0; head < len(q); head++ {
 			v := q[head]
+			if pr.csr {
+				for pos := g.Start[v]; pos < g.Start[v+1]; pos++ {
+					a := g.ArcIdx[pos]
+					pr.metrics.ArcScans++
+					u := g.To[a]
+					if g.Residual(int(a)^1) > 0 && pr.height[u] == 2*n && int(u) != s && int(u) != t {
+						pr.height[u] = pr.height[v] + 1
+						q = append(q, u)
+					}
+				}
+				continue
+			}
 			for a := g.Head[v]; a >= 0; a = g.Next[a] {
 				pr.metrics.ArcScans++
 				u := g.To[a]

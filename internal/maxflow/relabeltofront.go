@@ -9,11 +9,14 @@ import "imflow/internal/flowgraph"
 // heuristic-equipped FIFO implementation is an improvement over, and as an
 // extra cross-validation engine.
 type RelabelToFront struct {
-	g       *flowgraph.Graph
-	height  []int32
-	excess  []int64
-	curArc  []int32
-	list    []int32 // the textbook L list, reused across runs
+	g      *flowgraph.Graph
+	height []int32
+	excess []int64
+	curArc []int32
+	list   []int32 // the textbook L list, reused across runs
+	// csr as in PushRelabel: latched from g.Compacted() at Run start;
+	// curArc holds CSR positions instead of arc ids while set.
+	csr     bool
 	metrics Metrics
 }
 
@@ -63,17 +66,33 @@ func (rt *RelabelToFront) Run(s, t int) int64 {
 		rt.excess = make([]int64, n)
 		rt.curArc = make([]int32, n)
 	}
+	rt.csr = g.Compacted()
 	for v := 0; v < n; v++ {
 		rt.height[v] = 0
 		rt.excess[v] = 0
-		rt.curArc[v] = g.Head[v]
+		if rt.csr {
+			rt.curArc[v] = g.Start[v]
+		} else {
+			rt.curArc[v] = g.Head[v]
+		}
 	}
 	rt.height[s] = int32(n)
-	for a := g.Head[s]; a >= 0; a = g.Next[a] {
-		if delta := g.Residual(int(a)); delta > 0 {
-			g.Push(int(a), delta)
-			rt.excess[g.To[a]] += delta
-			rt.metrics.Pushes++
+	if rt.csr {
+		for pos := g.Start[s]; pos < g.Start[s+1]; pos++ {
+			a := g.ArcIdx[pos]
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				rt.excess[g.To[a]] += delta
+				rt.metrics.Pushes++
+			}
+		}
+	} else {
+		for a := g.Head[s]; a >= 0; a = g.Next[a] {
+			if delta := g.Residual(int(a)); delta > 0 {
+				g.Push(int(a), delta)
+				rt.excess[g.To[a]] += delta
+				rt.metrics.Pushes++
+			}
 		}
 	}
 
@@ -104,6 +123,10 @@ func (rt *RelabelToFront) Run(s, t int) int64 {
 
 // dischargeFully drains v's excess completely, relabeling as needed.
 func (rt *RelabelToFront) dischargeFully(v int) {
+	if rt.csr {
+		rt.dischargeFullyCSR(v)
+		return
+	}
 	g := rt.g
 	for rt.excess[v] > 0 {
 		a := rt.curArc[v]
@@ -137,6 +160,48 @@ func (rt *RelabelToFront) dischargeFully(v int) {
 			continue
 		}
 		rt.curArc[v] = g.Next[a]
+	}
+}
+
+// dischargeFullyCSR is dischargeFully over the frozen CSR ranges (same arc
+// order; curArc holds positions, exhaustion is the range end).
+func (rt *RelabelToFront) dischargeFullyCSR(v int) {
+	g := rt.g
+	end := g.Start[v+1]
+	for rt.excess[v] > 0 {
+		pos := rt.curArc[v]
+		if pos >= end {
+			// relabel
+			minH := int32(2 * g.N)
+			for p := g.Start[v]; p < end; p++ {
+				b := g.ArcIdx[p]
+				rt.metrics.ArcScans++
+				if g.Residual(int(b)) > 0 {
+					if h := rt.height[g.To[b]]; h < minH {
+						minH = h
+					}
+				}
+			}
+			rt.height[v] = minH + 1
+			rt.curArc[v] = g.Start[v]
+			rt.metrics.Relabels++
+			continue
+		}
+		a := g.ArcIdx[pos]
+		rt.metrics.ArcScans++
+		w := g.To[a]
+		if g.Residual(int(a)) > 0 && rt.height[v] == rt.height[w]+1 {
+			delta := rt.excess[v]
+			if r := g.Residual(int(a)); r < delta {
+				delta = r
+			}
+			g.Push(int(a), delta)
+			rt.excess[v] -= delta
+			rt.excess[w] += delta
+			rt.metrics.Pushes++
+			continue
+		}
+		rt.curArc[v] = pos + 1
 	}
 }
 

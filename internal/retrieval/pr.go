@@ -2,12 +2,12 @@ package retrieval
 
 import (
 	"fmt"
-	"runtime"
 
 	"imflow/internal/cost"
 	"imflow/internal/flowgraph"
 	"imflow/internal/maxflow"
 	"imflow/internal/maxflow/parallel"
+	"imflow/internal/threads"
 )
 
 // EngineFactory builds a max-flow engine bound to a network's graph. The
@@ -26,18 +26,9 @@ func HighestLabelEngine(g *flowgraph.Graph) maxflow.Engine { return maxflow.NewH
 // ParallelEngine builds the lock-free multithreaded push-relabel engine of
 // Section V with the given worker count. threads <= 0 selects
 // runtime.GOMAXPROCS(0), the scheduler's actual parallelism budget.
-func ParallelEngine(threads int) EngineFactory {
-	threads = normalizeThreads(threads)
-	return func(g *flowgraph.Graph) maxflow.Engine { return parallel.New(g, threads) }
-}
-
-// normalizeThreads maps a non-positive worker count to GOMAXPROCS instead
-// of letting it degenerate to a single worker deep inside the engine.
-func normalizeThreads(threads int) int {
-	if threads <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return threads
+func ParallelEngine(n int) EngineFactory {
+	n = threads.Normalize(n)
+	return func(g *flowgraph.Graph) maxflow.Engine { return parallel.New(g, n) }
 }
 
 // PRIncremental is Algorithm 5: the integrated push-relabel solution that
@@ -138,6 +129,13 @@ type PRBinary struct {
 	st       incrementState
 	saved    []int64
 	mask     DiskMask // scratch for MarkFailed's fresh-solve fallback
+
+	// Speculative probing (see speculative.go): when specProbes >= 2 the
+	// binary search evaluates that many candidate thresholds concurrently
+	// on the per-goroutine scratch networks in probes. Zero means plain
+	// sequential bisection.
+	specProbes int
+	probes     []probeCtx
 }
 
 // NewPRBinary returns the integrated Algorithm 6 solver (sequential
@@ -168,14 +166,37 @@ func NewPRBinaryWithEngine(name string, factory EngineFactory) *PRBinary {
 }
 
 // NewPRBinaryParallel returns the integrated Algorithm 6 solver backed by
-// the lock-free parallel push-relabel engine of Section V. threads <= 0
+// the lock-free parallel push-relabel engine of Section V. n <= 0
 // selects runtime.GOMAXPROCS(0).
-func NewPRBinaryParallel(threads int) *PRBinary {
-	threads = normalizeThreads(threads)
+func NewPRBinaryParallel(n int) *PRBinary {
+	n = threads.Normalize(n)
 	return &PRBinary{
-		name:     fmt.Sprintf("pr-binary-parallel(%d)", threads),
-		factory:  ParallelEngine(threads),
+		name:     fmt.Sprintf("pr-binary-parallel(%d)", n),
+		factory:  ParallelEngine(n),
 		conserve: true,
+	}
+}
+
+// NewPRBinarySpeculative returns the integrated Algorithm 6 solver whose
+// binary search evaluates several candidate response times concurrently:
+// each round picks up to `probes` distinct thresholds inside the current
+// bracket and solves them on per-goroutine scratch copies of the network
+// (sequential FIFO engine each), then commits the largest infeasible
+// probe's flow — the conservation rule of the sequential search, whose
+// stored flows are exactly the infeasible ones — and tightens the bracket
+// to the surviving gap. The optimum is bracketed identically, and the
+// final incremental stretch starts from an infeasible flow at tmin just
+// like the sequential solver, so schedules and response times are
+// bit-identical to pr-binary (audit-checked); only the operation counters
+// differ. probes <= 0 selects runtime.GOMAXPROCS(0); probes == 1 is the
+// sequential conserve path unchanged.
+func NewPRBinarySpeculative(probes int) *PRBinary {
+	probes = threads.Normalize(probes)
+	return &PRBinary{
+		name:       fmt.Sprintf("pr-binary-spec(%d)", probes),
+		factory:    SequentialEngine,
+		conserve:   true,
+		specProbes: probes,
 	}
 }
 
@@ -263,63 +284,77 @@ func (s *PRBinary) solveMasked(p *Problem, mask *DiskMask, res *Result) error {
 		tmin = 0
 	}
 
-	if s.conserve && !warm {
-		s.saved = net.g.SnapshotFlows(s.saved) // all-zero snapshot
-	}
-	// The paper loops while (tmax - tmin) >= minSpeed over reals; with
-	// integer microseconds that admits a no-progress iteration when the
-	// bracket narrows to exactly minSpeed = 1us (tmid == tmin), so the
-	// strict comparison is required. The final incremental stretch closes
-	// any remaining gap either way.
-	for cost.SatSub(tmax, tmin) > minSpeed {
-		tmid := cost.SatAdd(tmin, cost.SatSub(tmax, tmin)/2)
-		net.capsForTime(tmid)
+	if s.specProbes >= 2 {
+		// Speculative rounds (speculative.go): up to specProbes candidate
+		// thresholds are solved concurrently per round on scratch copies
+		// of the network, committing per the conservation rules. net.g
+		// comes back holding an infeasible flow valid at the returned
+		// tmin's capacities (or the warm carried flow when every probe of
+		// every round was feasible), so one DrainExcess makes the final
+		// stretch start exactly like the sequential conserve path.
+		tmin = s.speculativeSearch(res, target, tmin, tmax, minSpeed)
+		net.capsForTime(tmin)
+		net.g.DrainExcess(net.s, net.t)
+		s.st.reset(net)
+	} else {
+		if s.conserve && !warm {
+			s.saved = net.g.SnapshotFlows(s.saved) // all-zero snapshot
+		}
+		// The paper loops while (tmax - tmin) >= minSpeed over reals; with
+		// integer microseconds that admits a no-progress iteration when the
+		// bracket narrows to exactly minSpeed = 1us (tmid == tmin), so the
+		// strict comparison is required. The final incremental stretch closes
+		// any remaining gap either way.
+		for cost.SatSub(tmax, tmin) > minSpeed {
+			tmid := cost.SatAdd(tmin, cost.SatSub(tmax, tmin)/2)
+			net.capsForTime(tmid)
+			if s.conserve {
+				if warm {
+					// Warm conservation: drain the carried flow down to this
+					// probe's capacities and let the engine augment the rest.
+					net.g.DrainExcess(net.s, net.t)
+				}
+			} else {
+				net.g.ZeroFlows()
+			}
+			flow := engine.Run(net.s, net.t)
+			res.Stats.MaxflowRuns++
+			res.Stats.BinarySteps++
+			maxflow.Audit(net.g, net.s, net.t)
+			if flow != target {
+				// Infeasible: keep (store) these flows — they stay valid at
+				// every larger capacity setting — and raise the floor.
+				if s.conserve && !warm {
+					s.saved = net.g.SnapshotFlows(s.saved)
+				}
+				tmin = tmid
+			} else {
+				// Feasible: the optimum may be lower, so roll back to the last
+				// infeasible flow state and lower the ceiling. On the warm path
+				// the next probe's DrainExcess performs the equivalent cut-down
+				// in place, so there is nothing to restore.
+				if s.conserve && !warm {
+					net.g.RestoreFlows(s.saved)
+				}
+				tmax = tmid
+			}
+		}
+
+		// Final stretch: Algorithm 5 from tmin's capacities. At most N more
+		// increments separate tmin from the optimum.
 		if s.conserve {
-			if warm {
-				// Warm conservation: drain the carried flow down to this
-				// probe's capacities and let the engine augment the rest.
-				net.g.DrainExcess(net.s, net.t)
+			if !warm {
+				net.g.RestoreFlows(s.saved)
 			}
 		} else {
 			net.g.ZeroFlows()
 		}
-		flow := engine.Run(net.s, net.t)
-		res.Stats.MaxflowRuns++
-		res.Stats.BinarySteps++
-		maxflow.Audit(net.g, net.s, net.t)
-		if flow != target {
-			// Infeasible: keep (store) these flows — they stay valid at
-			// every larger capacity setting — and raise the floor.
-			if s.conserve && !warm {
-				s.saved = net.g.SnapshotFlows(s.saved)
-			}
-			tmin = tmid
-		} else {
-			// Feasible: the optimum may be lower, so roll back to the last
-			// infeasible flow state and lower the ceiling. On the warm path
-			// the next probe's DrainExcess performs the equivalent cut-down
-			// in place, so there is nothing to restore.
-			if s.conserve && !warm {
-				net.g.RestoreFlows(s.saved)
-			}
-			tmax = tmid
+		net.capsForTime(tmin)
+		if s.conserve && warm {
+			net.g.DrainExcess(net.s, net.t)
 		}
+		s.st.reset(net)
 	}
-
-	// Final stretch: Algorithm 5 from tmin's capacities. At most N more
-	// increments separate tmin from the optimum.
-	if s.conserve {
-		if !warm {
-			net.g.RestoreFlows(s.saved)
-		}
-	} else {
-		net.g.ZeroFlows()
-	}
-	net.capsForTime(tmin)
-	if s.conserve && warm {
-		net.g.DrainExcess(net.s, net.t)
-	}
-	s.st.reset(net)
 	if !s.conserve {
 		net.g.ZeroFlows()
 	}

@@ -391,6 +391,11 @@ func (net *network) rebuildMasked(p *Problem, mask *DiskMask) {
 		net.diskArc[k] = g.AddEdge(net.diskVtx[k], net.t, 0)
 		net.caps[k] = 0
 	}
+	// Freeze the finished arc set into the CSR adjacency index: every
+	// engine run between now and the next rebuild scans contiguous ranges.
+	// Compaction does not move arc indices, so srcArc/diskArc and the warm
+	// and failover paths that retune by index stay valid.
+	g.Compact()
 	net.prob = p
 	net.recordSignature(p)
 }
@@ -416,6 +421,21 @@ func (net *network) capsForTime(t cost.Micros) {
 			continue
 		}
 		net.setCap(k, cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, t, net.inDeg[k]))
+	}
+}
+
+// capsForTimeInto writes capsForTime's capacities into an arbitrary graph
+// with net.g's arc layout — a speculative probe's scratch copy. Only
+// net.params/maskedSlot/inDeg/diskArc are read (never written), so
+// concurrent calls against distinct graphs are safe; net.caps is left
+// untouched because the probe graphs never feed incrementMinCost.
+func (net *network) capsForTimeInto(g *flowgraph.Graph, t cost.Micros) {
+	for k, dp := range net.params {
+		if net.maskedSlot[k] {
+			g.SetCap(net.diskArc[k], 0)
+			continue
+		}
+		g.SetCap(net.diskArc[k], cost.BlocksWithin(dp.Delay, dp.Load, dp.Service, t, net.inDeg[k]))
 	}
 }
 

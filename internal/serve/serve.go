@@ -31,7 +31,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +39,7 @@ import (
 	"imflow/internal/fault"
 	"imflow/internal/retrieval"
 	"imflow/internal/storage"
+	"imflow/internal/threads"
 )
 
 // ErrDeadlineExceeded is the admission rejection: the query's Deadline
@@ -109,6 +109,22 @@ type Options struct {
 	// Batch caps how many queued queries a worker coalesces into one
 	// admission batch (one load snapshot, one write-back). <= 0 means 16.
 	Batch int
+	// BatchParallelism, when >= 2, fans each admission batch across a
+	// small pool of additional pinned solvers inside the worker: the
+	// batch's queries are solved concurrently against the batch-shared
+	// disk table, then written back serially in batch order (OnSchedule,
+	// load application, and results all observe the original ordering).
+	// The pool trades the serial path's intra-batch load feedback —
+	// queries in one batch no longer see the loads of their in-batch
+	// predecessors when choosing assignments, only the batch-start
+	// snapshot — for solve throughput; the reported response times still
+	// account for every predecessor, because the write-back replays the
+	// batch in order. Fault-mode batches bypass the pool (the in-place
+	// failover repair is inherently sequential), as do single-query
+	// batches. 0 or 1 means serial (the default); < 0 means one pool
+	// member per CPU (threads.Normalize). Incompatible with Deterministic
+	// mode, whose contract is exact sequential semantics.
+	BatchParallelism int
 	// NewSolver builds each worker's pinned solver. nil means
 	// retrieval.NewPRBinary. The factory must return a fresh solver per
 	// call: workers never share one.
@@ -174,13 +190,19 @@ func (o Options) withDefaults() (Options, error) {
 		if o.CacheSize > 0 {
 			return o, fmt.Errorf("serve: the solve cache is incompatible with deterministic mode (sim replay has no cache)")
 		}
+		if o.BatchParallelism > 1 || o.BatchParallelism < 0 {
+			return o, fmt.Errorf("serve: batch parallelism is incompatible with deterministic mode (replay needs exact sequential semantics)")
+		}
 		o.Workers = 1
 	}
 	if o.CacheSize > 0 && o.CacheQuantum <= 1 {
 		o.CacheQuantum = 1
 	}
+	if o.BatchParallelism < 0 {
+		o.BatchParallelism = threads.Normalize(o.BatchParallelism)
+	}
 	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+		o.Workers = threads.Normalize(o.Workers)
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64

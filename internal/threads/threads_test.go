@@ -1,0 +1,40 @@
+package threads
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestNormalize pins the clamping table every parallel entry point relies
+// on: non-positive requests resolve to the live GOMAXPROCS value, positive
+// requests pass through (even when they exceed the machine).
+func TestNormalize(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		in, want int
+	}{
+		{-100, maxprocs},
+		{-1, maxprocs},
+		{0, maxprocs},
+		{1, 1},
+		{2, 2},
+		{maxprocs, maxprocs},
+		{maxprocs + 7, maxprocs + 7},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeTracksGOMAXPROCS verifies the default is read at call time,
+// not process start: lowering GOMAXPROCS changes what 0 resolves to.
+func TestNormalizeTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(1)
+	if got := Normalize(0); got != 1 {
+		t.Fatalf("Normalize(0) under GOMAXPROCS(1) = %d, want 1", got)
+	}
+}
