@@ -136,7 +136,9 @@ func main() {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.4f\t%.2fx\n", r.name, r.avgMs, r.avgMs/rows[0].avgMs)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatalf("%v", err)
+	}
 	fmt.Printf("\noptimal response times (ms, identical for all solvers): %s\n", rows[0].resp)
 }
 
@@ -153,7 +155,9 @@ func printTableIV() {
 			fmt.Fprintf(w, "\t%d\t%s\t%s\t%s\n", si+1, s.Group, s.Delay, s.Load)
 		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatalf("%v", err)
+	}
 	fmt.Println("\ndisk catalog (Table III):")
 	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "producer\tmodel\ttype\trpm\taccess")
@@ -164,7 +168,9 @@ func printTableIV() {
 		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", d.Producer, d.Model, d.Type, rpm, d.Access)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -44,6 +44,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		//lint:ignore erruse best-effort diagnostic profile; a close error cannot affect the benchmark result
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatalf("cpuprofile: %v", err)
@@ -97,7 +98,9 @@ func main() {
 		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 			fatalf("memprofile: %v", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatalf("memprofile: %v", err)
+		}
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -105,7 +108,9 @@ func main() {
 	}
 	blob = append(blob, '\n')
 	if *out == "-" {
-		os.Stdout.Write(blob)
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatalf("%v", err)
+		}
 	} else {
 		if dir := filepath.Dir(*out); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {

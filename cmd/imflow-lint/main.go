@@ -1,13 +1,15 @@
 // Command imflow-lint is the repository's multichecker: it runs the
 // custom analyzers that guard the invariants everything else is built on
 // — the float-free integer-microsecond core (microsfloat), saturating
-// Micros arithmetic (satarith), the sync/atomic access discipline of the
+// Micros arithmetic (satarith, plus its flow-sensitive upgrade sattaint
+// for Micros-derived int64s), the sync/atomic access discipline of the
 // lock-free parallel solver (atomicfield), the mutex guard annotations of
 // the serving layer (lockguard), the zero-allocation hot paths (noalloc,
-// both per-function and transitively over the call graph), directive
-// hygiene (directive), and the interprocedural concurrency checks built
-// on the module call graph (lockorder, ctxleak) — plus a curated
-// `go vet` set.
+// both per-function and transitively over the call graph), dropped-error
+// detection (erruse), directive hygiene (directive), the interprocedural
+// concurrency checks built on the module call graph (lockorder, ctxleak),
+// and the determinism-reachability walk that statically guards the
+// bit-identity paths (detpath) — plus a curated `go vet` set.
 //
 // Usage:
 //
@@ -16,6 +18,9 @@
 // With no package patterns it lints ./.... Each analyzer has an
 // enable/disable flag of the same name (-satarith=false skips satarith;
 // -noalloc controls both the per-function and the transitive pass).
+// Per-package analysis is sharded across GOMAXPROCS workers; diagnostics
+// are re-sorted into a total order, so the output is identical to a
+// serial run. -v prints per-analyzer wall time to stderr.
 // -json writes the findings as a stably sorted JSON record array on
 // stdout — the CI artifact and editor-integration format — instead of
 // the human text form.
@@ -46,26 +51,34 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"sort"
+	"time"
 
 	"imflow/internal/analysis"
 	"imflow/internal/analysis/atomicfield"
 	"imflow/internal/analysis/callgraph"
 	"imflow/internal/analysis/ctxleak"
+	"imflow/internal/analysis/detpath"
 	"imflow/internal/analysis/directive"
+	"imflow/internal/analysis/erruse"
 	"imflow/internal/analysis/lockguard"
 	"imflow/internal/analysis/lockorder"
 	"imflow/internal/analysis/microsfloat"
 	"imflow/internal/analysis/noalloc"
 	"imflow/internal/analysis/satarith"
+	"imflow/internal/analysis/sattaint"
 )
 
 // roster is the per-package analyzer set, in documentation order.
 var roster = []*analysis.Analyzer{
 	microsfloat.Analyzer,
 	satarith.Analyzer,
+	sattaint.Analyzer,
 	atomicfield.Analyzer,
 	lockguard.Analyzer,
 	noalloc.Analyzer,
+	erruse.Analyzer,
 	directive.Analyzer,
 }
 
@@ -75,6 +88,7 @@ var roster = []*analysis.Analyzer{
 // per-package half.
 var moduleRoster = []*callgraph.Analyzer{
 	noalloc.Transitive,
+	detpath.Analyzer,
 	lockorder.Analyzer,
 	ctxleak.Analyzer,
 }
@@ -114,6 +128,7 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzer set and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a stably sorted JSON record array on stdout")
 	baselinePath := flag.String("baseline", "", "diff findings against this baseline file; only new findings fail the run")
+	verbose := flag.Bool("v", false, "print per-analyzer wall time to stderr")
 	accept := flag.Bool("accept", false, "rewrite the -baseline file with the current findings and exit 0")
 	enabled := map[string]*bool{}
 	for _, a := range roster {
@@ -161,21 +176,40 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	diags, err := analysis.Run(analyzers, pkgs)
+	diags, timings, err := analysis.RunParallel(analyzers, pkgs, runtime.GOMAXPROCS(0))
 	if err != nil {
 		fail(err)
 	}
 	if len(moduleAnalyzers) > 0 {
+		graphStart := time.Now()
 		graph, err := callgraph.Build(pkgs)
 		if err != nil {
 			fail(err)
 		}
-		moduleDiags, err := callgraph.Run(moduleAnalyzers, graph)
-		if err != nil {
-			fail(err)
+		timings["callgraph"] = time.Since(graphStart)
+		// The module tier shares the graph, so it runs serially — but each
+		// analyzer is timed on its own for the -v report. Names shared with
+		// a per-package half (noalloc) accumulate into one entry.
+		for _, a := range moduleAnalyzers {
+			start := time.Now()
+			moduleDiags, err := callgraph.Run([]*callgraph.Analyzer{a}, graph)
+			if err != nil {
+				fail(err)
+			}
+			timings[a.Name] += time.Since(start)
+			diags = append(diags, moduleDiags...)
 		}
-		diags = append(diags, moduleDiags...)
 		analysis.SortDiagnostics(diags)
+	}
+	if *verbose {
+		names := make([]string, 0, len(timings))
+		for name := range timings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "imflow-lint: %-12s %v\n", name, timings[name].Round(time.Microsecond))
+		}
 	}
 	active, suppressed := analysis.FilterSuppressed(pkgs, diags, knownNames())
 	root, _ := os.Getwd()

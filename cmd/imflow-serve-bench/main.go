@@ -171,7 +171,9 @@ func writeReport(out string, report any, records int) {
 	}
 	blob = append(blob, '\n')
 	if out == "-" {
-		os.Stdout.Write(blob)
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatalf("%v", err)
+		}
 		return
 	}
 	if dir := filepath.Dir(out); dir != "." {

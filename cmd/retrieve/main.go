@@ -92,6 +92,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		//lint:ignore erruse close of a file only ever read; there is nothing buffered to lose
 		defer f.Close()
 		r = f
 	}

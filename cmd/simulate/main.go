@@ -118,7 +118,9 @@ func main() {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%d\n",
 			name, sum.Mean, sum.Median, sum.P95, sum.Max, s1, s2)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

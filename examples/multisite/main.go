@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"imflow/internal/bench"
+	"imflow/internal/cost"
 	"imflow/internal/decluster"
 	"imflow/internal/experiment"
 	"imflow/internal/grid"
@@ -60,10 +61,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var optTotal, greedyTotal, site1Blocks, site2Blocks int64
+	var optTotal, greedyTotal cost.Micros
+	var site1Blocks, site2Blocks int64
 	for i := range problems {
-		optTotal += int64(mOpt.Responses[i])
-		greedyTotal += int64(mGreedy.Responses[i])
+		optTotal = cost.SatAdd(optTotal, mOpt.Responses[i])
+		greedyTotal = cost.SatAdd(greedyTotal, mGreedy.Responses[i])
 	}
 	// Where does the optimal schedule send the blocks?
 	for _, p := range problems {
@@ -82,11 +84,11 @@ func main() {
 
 	fmt.Printf("%d range queries (load 1):\n", len(problems))
 	fmt.Printf("  optimal total response  %10.1f ms (avg %.2f ms/query, decision %.3f ms/query)\n",
-		float64(optTotal)/1000, float64(optTotal)/1000/float64(len(problems)), mOpt.AvgMs())
+		optTotal.Millis(), optTotal.Millis()/float64(len(problems)), mOpt.AvgMs())
 	fmt.Printf("  greedy  total response  %10.1f ms (avg %.2f ms/query)\n",
-		float64(greedyTotal)/1000, float64(greedyTotal)/1000/float64(len(problems)))
+		greedyTotal.Millis(), greedyTotal.Millis()/float64(len(problems)))
 	fmt.Printf("  greedy penalty: %.1f%% slower than optimal\n\n",
-		100*(float64(greedyTotal)/float64(optTotal)-1))
+		100*(greedyTotal.Millis()/optTotal.Millis()-1))
 	fmt.Printf("optimal block placement: %d blocks on the SSD site, %d on the HDD site\n",
 		site1Blocks, site2Blocks)
 	fmt.Println("(the scheduler leans on the SSDs but still uses HDDs where their copy wins)")

@@ -25,6 +25,10 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Analyzer describes one static check.
@@ -81,24 +85,91 @@ func (d Diagnostic) String() string {
 // Run applies every analyzer to every package and returns all diagnostics
 // sorted by file position.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
+	diags, _, err := RunParallel(analyzers, pkgs, 1)
+	return diags, err
+}
+
+// Timings is the cumulative wall time each analyzer spent, summed across
+// packages (and across workers in a parallel run).
+type Timings map[string]time.Duration
+
+// Add merges other into t.
+func (t Timings) Add(other Timings) {
+	for name, d := range other {
+		t[name] += d
+	}
+}
+
+// RunParallel is Run sharded across at most workers goroutines. The
+// package is the unit of work — analyzers run serially within one
+// package, so no Pass or diagnostic slice is ever shared between
+// goroutines; the shared FileSet and types.Info are only read (FileSet
+// position lookups are internally locked). Per-package diagnostic slices
+// are merged and re-sorted under SortDiagnostics' total order, so the
+// output is byte-identical to a serial run regardless of worker count or
+// scheduling.
+func RunParallel(analyzers []*Analyzer, pkgs []*Package, workers int) ([]Diagnostic, Timings, error) {
+	timings := Timings{}
+	if len(pkgs) == 0 {
+		return nil, timings, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	perWorker := make([]Timings, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		perWorker[w] = Timings{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				pkg := pkgs[i]
+				for _, a := range analyzers {
+					pass := &Pass{
+						Analyzer: a,
+						Fset:     pkg.Fset,
+						Files:    pkg.Files,
+						Pkg:      pkg.Types,
+						Info:     pkg.Info,
+						diags:    &perPkg[i],
+					}
+					start := time.Now()
+					err := a.Run(pass)
+					perWorker[w][a.Name] += time.Since(start)
+					if err != nil {
+						errs[w] = fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+						return
+					}
+				}
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
-			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	for _, t := range perWorker {
+		timings.Add(t)
+	}
 	SortDiagnostics(diags)
-	return diags, nil
+	return diags, timings, nil
 }
 
 // SortDiagnostics orders findings by position, then analyzer, then
@@ -139,6 +210,26 @@ func HasDirective(doc *ast.CommentGroup, directive string) bool {
 		}
 	}
 	return false
+}
+
+// DirectiveArg looks in the comment group for a directive that carries a
+// free-text argument after the verb ("//imflow:detsafe <reason>") and
+// returns the argument. found distinguishes a present-but-empty argument
+// ("//imflow:detsafe" alone, which the directive analyzer rejects) from an
+// absent directive.
+func DirectiveArg(doc *ast.CommentGroup, directive string) (arg string, found bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(c.Text, directive+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
 }
 
 // FileHasDirective reports whether any comment group anywhere in the file

@@ -63,6 +63,109 @@ func TestDiffBaselineUnchanged(t *testing.T) {
 	}
 }
 
+// acceptInto mirrors the driver's -accept path: rewrite the baseline
+// file with exactly the current record stream.
+func acceptInto(t *testing.T, path string, current []analysis.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.WriteJSON(f, current); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcceptPrunesStaleEntries: -accept is a rewrite, not a merge — an
+// entry whose finding was fixed does not linger in the refreshed
+// baseline, so regressing it later fails the gate again.
+func TestAcceptPrunesStaleEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	acceptInto(t, path, []analysis.Record{
+		rec("a.go", "noalloc", "make allocates", 10),
+		rec("b.go", "lockorder", "cycle", 5), // about to be fixed
+	})
+	current := []analysis.Record{rec("a.go", "noalloc", "make allocates", 10)}
+	acceptInto(t, path, current)
+	refreshed, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(refreshed) != 1 || refreshed[0].File != "a.go" {
+		t.Fatalf("refreshed baseline = %v, want only the surviving a.go entry", refreshed)
+	}
+	// The pruned finding coming back must read as new, not as baselined.
+	regressed := append(current, rec("b.go", "lockorder", "cycle", 6))
+	newFindings, _ := analysis.DiffBaseline(regressed, refreshed)
+	if len(newFindings) != 1 || newFindings[0].File != "b.go" {
+		t.Fatalf("newFindings = %v, want the regressed b.go finding", newFindings)
+	}
+}
+
+// TestDiffBaselineDeletedFile: every entry for a file that no longer
+// exists (so no current record mentions it) reports as fixed — never as
+// a gate failure — and an -accept rewrite drops them all.
+func TestDiffBaselineDeletedFile(t *testing.T) {
+	baseline := []analysis.Record{
+		rec("gone.go", "noalloc", "make allocates", 3),
+		rec("gone.go", "satarith", "raw +", 9),
+		rec("kept.go", "noalloc", "make allocates", 4),
+	}
+	current := []analysis.Record{rec("kept.go", "noalloc", "make allocates", 4)}
+	newFindings, fixed := analysis.DiffBaseline(current, baseline)
+	if len(newFindings) != 0 {
+		t.Fatalf("newFindings = %v, want none for a deleted file", newFindings)
+	}
+	if len(fixed) != 2 || fixed[0].File != "gone.go" || fixed[1].File != "gone.go" {
+		t.Fatalf("fixed = %v, want both gone.go entries", fixed)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	acceptInto(t, path, current)
+	refreshed, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	for _, r := range refreshed {
+		if r.File == "gone.go" {
+			t.Errorf("deleted-file entry survived the -accept rewrite: %+v", r)
+		}
+	}
+}
+
+// TestDiffBaselineDuplicatePosition: two distinct findings at the same
+// file/line/col (different analyzers, or one analyzer firing twice with
+// different messages) are matched as distinct keys, not collapsed.
+func TestDiffBaselineDuplicatePosition(t *testing.T) {
+	baseline := []analysis.Record{
+		rec("a.go", "satarith", "raw +", 10),
+		rec("a.go", "sattaint", "raw + on a tainted value", 10),
+	}
+	// Both still present: clean diff in both directions.
+	newFindings, fixed := analysis.DiffBaseline(baseline, baseline)
+	if len(newFindings) != 0 || len(fixed) != 0 {
+		t.Fatalf("same-position records did not self-match: new=%v fixed=%v", newFindings, fixed)
+	}
+	// Fixing only one of the co-located findings reports exactly it.
+	current := []analysis.Record{rec("a.go", "satarith", "raw +", 10)}
+	newFindings, fixed = analysis.DiffBaseline(current, baseline)
+	if len(newFindings) != 0 || len(fixed) != 1 || fixed[0].Analyzer != "sattaint" {
+		t.Fatalf("new=%v fixed=%v, want only the sattaint entry fixed", newFindings, fixed)
+	}
+	// And the round trip preserves both co-located records verbatim.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	acceptInto(t, path, baseline)
+	refreshed, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(refreshed) != 2 {
+		t.Fatalf("round trip collapsed co-located records: %v", refreshed)
+	}
+}
+
 // TestBaselineRoundTrip: a record stream written by WriteJSON reads back
 // identically through ReadBaseline.
 func TestBaselineRoundTrip(t *testing.T) {

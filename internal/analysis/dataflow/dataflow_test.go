@@ -1,0 +1,166 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"imflow/internal/analysis"
+)
+
+// microsConfig is the sattaint-shaped config the fixture is written
+// against: a source is any conversion of a cost.Micros value to a type
+// whose underlying type is int64 but which is not Micros itself, and a
+// value carries when its (possibly container-wrapped) type has that
+// shape.
+func microsConfig() Config {
+	return Config{
+		Source: func(info *types.Info, e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return false
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return false
+			}
+			if !isInt64NonMicros(tv.Type) {
+				return false
+			}
+			argT := info.Types[call.Args[0]].Type
+			return argT != nil && isMicrosType(argT)
+		},
+		Carries: func(t types.Type) bool { return isInt64NonMicros(t) },
+	}
+}
+
+func isMicrosType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Micros" && obj.Pkg() != nil && obj.Pkg().Path() == "imflow/internal/cost"
+}
+
+func isInt64NonMicros(t types.Type) bool {
+	if isMicrosType(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// TestTaintFixture loads testdata/taint and checks every variable and
+// struct field against its naming convention: names starting with "t"
+// must be tainted, names starting with "u" must not. Other names are
+// unconstrained scaffolding.
+func TestTaintFixture(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/taint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	taint := Run(pkg, microsConfig())
+
+	checked := 0
+	for id, obj := range pkg.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var want bool
+		switch id.Name[0] {
+		case 't':
+			want = true
+		case 'u':
+			want = false
+		default:
+			continue
+		}
+		got := taint.objs[v]
+		if v.IsField() {
+			got = taint.fields[v]
+		}
+		if got != want {
+			pos := pkg.Fset.Position(id.Pos())
+			t.Errorf("%s: %s tainted=%v, want %v", pos, id.Name, got, want)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d named t*/u* objects checked; fixture drifted?", checked)
+	}
+}
+
+// TestResultSummaries pins the per-function result summaries the engine
+// derives for the fixture helpers.
+func TestResultSummaries(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/taint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	taint := Run(pkg, microsConfig())
+
+	want := map[string][]bool{
+		"derive": {true},
+		"both":   {false, true},
+		"sink":   {true},
+		"intn":   {false},
+	}
+	got := map[string][]bool{}
+	for fn, s := range taint.results {
+		if _, ok := want[fn.Name()]; ok {
+			got[fn.Name()] = s
+		}
+	}
+	for name, ws := range want {
+		gs, ok := got[name]
+		if !ok {
+			t.Errorf("no summary recorded for %s", name)
+			continue
+		}
+		if len(gs) != len(ws) {
+			t.Errorf("%s: summary %v, want %v", name, gs, ws)
+			continue
+		}
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Errorf("%s: result %d tainted=%v, want %v", name, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestLValueTainted exercises the sink-side query on synthetic
+// expressions resolved from the fixture.
+func TestLValueTainted(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/taint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	taint := Run(pkg, microsConfig())
+
+	// Find the "t9 += ..." compound assignments and check the lvalue
+	// query reports taint, and that an untainted counterpart does not.
+	found := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name != "t9" {
+				return true
+			}
+			found = true
+			if !taint.LValueTainted(as.Lhs[0]) {
+				t.Errorf("%s: LValueTainted(t9) = false, want true", pkg.Fset.Position(id.Pos()))
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("no t9 assignment found in fixture")
+	}
+}

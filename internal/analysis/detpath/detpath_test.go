@@ -1,0 +1,23 @@
+package detpath_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/callgraph"
+	"imflow/internal/analysis/detpath"
+)
+
+func TestDetpathViolations(t *testing.T) {
+	diags := analyzertest.RunModule(t, []*callgraph.Analyzer{detpath.Analyzer}, "testdata/detbad")
+	if len(diags) == 0 {
+		t.Fatal("violation fixture produced no diagnostics; the analyzer is disarmed")
+	}
+}
+
+func TestDetpathBoundaries(t *testing.T) {
+	diags := analyzertest.RunModule(t, []*callgraph.Analyzer{detpath.Analyzer}, "testdata/detok")
+	for _, d := range diags {
+		t.Errorf("boundary fixture should be clean, got: %s", d)
+	}
+}

@@ -1,0 +1,39 @@
+// Package detbad seeds one of every nondeterminism source class under a
+// deterministic root, plus a reachable offender for the chain report.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+//imflow:det
+func Root(m map[int]int, ch chan int) int {
+	total := 0
+	for k := range m { // want "range over map map\[int\]int iterates in nondeterministic order"
+		total += k
+	}
+	if time.Now().IsZero() { // want "time.Now reads the wall clock"
+		total++
+	}
+	total += rand.Intn(3) // want "rand.Intn draws from the global math/rand source"
+	select {
+	case v := <-ch:
+		total += v
+	default: // want "select with default races the scheduler"
+		total--
+	}
+	go drain(ch)      // want "go statement spawns unordered work"
+	total += helper() // want "reaches nondeterministic function detbad.helper .time.Since reads the wall clock at .* via detbad.Root → detbad.helper"
+	return total
+}
+
+// helper is not annotated, but Root reaches it.
+func helper() int {
+	return int(time.Since(time.Unix(0, 0)))
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,41 @@
+// Package detok shows every sanctioned way to quiet detpath: reviewed
+// detsafe boundaries and per-line suppressions. It must produce zero
+// diagnostics.
+package detok
+
+import (
+	"math/rand"
+	"time"
+)
+
+//imflow:det
+func Root(m map[int]int) int {
+	total := 0
+	//lint:ignore detpath summing map values is commutative; order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	total += seeded()
+	total += int(observe())
+	return total
+}
+
+// seeded draws from the global source, reviewed as a boundary for the
+// fixture's sake.
+//
+//imflow:detsafe fixture boundary: the draw never reaches solver results
+func seeded() int {
+	return rand.Intn(10)
+}
+
+// observe reads the clock for logging only.
+//
+//imflow:detsafe wall-clock read is observability-only, never in results
+func observe() int64 {
+	return time.Now().UnixNano()
+}
+
+// replay is deterministic on its own: an explicitly seeded source.
+func replay() int {
+	return rand.New(rand.NewSource(1)).Intn(10)
+}

@@ -9,11 +9,16 @@
 //   - the inert near-miss "// imflow:..." — a space after the slashes
 //     makes the comment invisible to exact-prefix directive matching;
 //   - a malformed //imflow:locked — missing, empty, or unclosed
-//     parentheses, or trailing text after any directive (directives are
-//     matched as whole comment lines, so trailing text disarms them);
+//     parentheses, or trailing text after a no-argument directive
+//     (directives are matched as whole comment lines, so trailing text
+//     disarms them);
+//   - //imflow:detsafe with no reason — the boundary claim is only
+//     reviewable when the why is stated on the directive itself;
 //   - a function-only directive (noalloc, allocok, locked, quiescent,
-//     floatboundary) that is not attached to a function declaration's
-//     doc comment;
+//     floatboundary, det, detsafe) that is not attached to a function
+//     declaration's doc comment;
+//   - //imflow:det and //imflow:detsafe on the same function — a
+//     deterministic root cannot be its own reviewed boundary;
 //   - //imflow:locked(<guard>) naming a guard that is not a field of the
 //     method's receiver struct — a dangling claim lockguard would
 //     silently accept as "some other lock".
@@ -41,15 +46,25 @@ var Analyzer = &analysis.Analyzer{
 
 const prefix = "//imflow:"
 
-// verbs maps each known directive verb to whether it takes a
-// parenthesized argument.
-var verbs = map[string]bool{
-	"floatfree":     false,
-	"floatboundary": false,
-	"quiescent":     false,
-	"noalloc":       false,
-	"allocok":       false,
-	"locked":        true,
+// argKind describes what, if anything, follows a directive verb.
+type argKind int
+
+const (
+	argNone   argKind = iota // the verb alone, whole-line
+	argParen                 // verb(<ident>), e.g. locked(mu)
+	argReason                // verb <free text>, mandatory, e.g. detsafe <why>
+)
+
+// verbs maps each known directive verb to its argument grammar.
+var verbs = map[string]argKind{
+	"floatfree":     argNone,
+	"floatboundary": argNone,
+	"quiescent":     argNone,
+	"noalloc":       argNone,
+	"allocok":       argNone,
+	"det":           argNone,
+	"locked":        argParen,
+	"detsafe":       argReason,
 }
 
 // funcOnly lists the verbs whose analyzers only read function doc
@@ -60,12 +75,14 @@ var funcOnly = map[string]bool{
 	"noalloc":       true,
 	"allocok":       true,
 	"locked":        true,
+	"det":           true,
+	"detsafe":       true,
 }
 
 var lockedForm = regexp.MustCompile(`^locked\(([A-Za-z_]\w*)\)$`)
 
 func knownList() string {
-	return "allocok, floatboundary, floatfree, locked(<field>), noalloc, quiescent"
+	return "allocok, det, detsafe <reason>, floatboundary, floatfree, locked(<field>), noalloc, quiescent"
 }
 
 func run(pass *analysis.Pass) error {
@@ -81,6 +98,7 @@ func run(pass *analysis.Pass) error {
 			for _, c := range fd.Doc.List {
 				owner[c] = fd
 			}
+			checkConflicts(pass, fd)
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -89,6 +107,18 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkConflicts reports a function declared both deterministic root and
+// determinism boundary: detpath would start a walk at a node it also
+// refuses to look inside.
+func checkConflicts(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !analysis.HasDirective(fd.Doc, prefix+"det") {
+		return
+	}
+	if _, boundary := analysis.DirectiveArg(fd.Doc, prefix+"detsafe"); boundary {
+		pass.Reportf(fd.Doc.Pos(), "%s and %sdetsafe on the same function: a deterministic root cannot be its own boundary", prefix+"det", prefix)
+	}
 }
 
 func checkComment(pass *analysis.Pass, c *ast.Comment, fd *ast.FuncDecl) {
@@ -104,12 +134,13 @@ func checkComment(pass *analysis.Pass, c *ast.Comment, fd *ast.FuncDecl) {
 	if i := strings.IndexAny(rest, "( \t"); i >= 0 {
 		verb = rest[:i]
 	}
-	wantsArg, known := verbs[verb]
+	kind, known := verbs[verb]
 	if !known {
 		pass.Reportf(c.Pos(), "unknown directive %s%s (known verbs: %s)", prefix, verb, knownList())
 		return
 	}
-	if wantsArg {
+	switch kind {
+	case argParen:
 		m := lockedForm.FindStringSubmatch(rest)
 		if m == nil {
 			pass.Reportf(c.Pos(), "malformed %s%s directive: expected %slocked(<field>)", prefix, rest, prefix)
@@ -119,13 +150,19 @@ func checkComment(pass *analysis.Pass, c *ast.Comment, fd *ast.FuncDecl) {
 		if fd != nil {
 			checkLockedGuard(pass, c, m[1], fd)
 		}
-		return
+	case argReason:
+		if strings.TrimSpace(strings.TrimPrefix(rest, verb)) == "" {
+			pass.Reportf(c.Pos(), "%s%s needs a mandatory reason: the boundary claim is only reviewable with the why on the directive", prefix, verb)
+			return
+		}
+		checkPlacement(pass, c, verb, fd)
+	default:
+		if rest != verb {
+			pass.Reportf(c.Pos(), "malformed %s%s directive: trailing %q disarms it (directives match as whole comment lines)", prefix, verb, strings.TrimPrefix(rest, verb))
+			return
+		}
+		checkPlacement(pass, c, verb, fd)
 	}
-	if rest != verb {
-		pass.Reportf(c.Pos(), "malformed %s%s directive: trailing %q disarms it (directives match as whole comment lines)", prefix, verb, strings.TrimPrefix(rest, verb))
-		return
-	}
-	checkPlacement(pass, c, verb, fd)
 }
 
 // checkPlacement reports func-only directives that are not attached to a

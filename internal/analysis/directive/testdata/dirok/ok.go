@@ -31,3 +31,11 @@ func quiet() {}
 
 //imflow:floatboundary
 func boundary() float64 { return 0 }
+
+//imflow:det
+func replayable() int { return 1 }
+
+// shielded wraps nondeterminism the walk must not descend into.
+//
+//imflow:detsafe internal races cannot reach the returned value
+func shielded() int { return 2 }

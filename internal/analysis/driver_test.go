@@ -11,20 +11,24 @@ import (
 	"imflow/internal/analysis/atomicfield"
 	"imflow/internal/analysis/callgraph"
 	"imflow/internal/analysis/ctxleak"
+	"imflow/internal/analysis/detpath"
 	"imflow/internal/analysis/directive"
+	"imflow/internal/analysis/erruse"
 	"imflow/internal/analysis/lockguard"
 	"imflow/internal/analysis/lockorder"
 	"imflow/internal/analysis/microsfloat"
 	"imflow/internal/analysis/noalloc"
 	"imflow/internal/analysis/satarith"
+	"imflow/internal/analysis/sattaint"
 )
 
 // knownNames mirrors the driver's roster-name set for FilterSuppressed.
 func knownNames() map[string]bool {
 	return map[string]bool{
-		"microsfloat": true, "satarith": true, "atomicfield": true,
-		"lockguard": true, "noalloc": true, "directive": true,
-		"lockorder": true, "ctxleak": true, "suppress": true,
+		"microsfloat": true, "satarith": true, "sattaint": true,
+		"atomicfield": true, "lockguard": true, "noalloc": true,
+		"erruse": true, "directive": true, "lockorder": true,
+		"ctxleak": true, "detpath": true, "suppress": true,
 	}
 }
 
@@ -148,9 +152,11 @@ func TestRepoIsClean(t *testing.T) {
 	roster := []*analysis.Analyzer{
 		microsfloat.Analyzer,
 		satarith.Analyzer,
+		sattaint.Analyzer,
 		atomicfield.Analyzer,
 		lockguard.Analyzer,
 		noalloc.Analyzer,
+		erruse.Analyzer,
 		directive.Analyzer,
 	}
 	diags, err := analysis.Run(roster, pkgs)
@@ -182,9 +188,11 @@ func TestRepoMatchesBaseline(t *testing.T) {
 	roster := []*analysis.Analyzer{
 		microsfloat.Analyzer,
 		satarith.Analyzer,
+		sattaint.Analyzer,
 		atomicfield.Analyzer,
 		lockguard.Analyzer,
 		noalloc.Analyzer,
+		erruse.Analyzer,
 		directive.Analyzer,
 	}
 	diags, err := analysis.Run(roster, pkgs)
@@ -197,6 +205,7 @@ func TestRepoMatchesBaseline(t *testing.T) {
 	}
 	moduleDiags, err := callgraph.Run([]*callgraph.Analyzer{
 		noalloc.Transitive,
+		detpath.Analyzer,
 		lockorder.Analyzer,
 		ctxleak.Analyzer,
 	}, graph)

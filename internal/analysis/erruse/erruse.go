@@ -1,0 +1,278 @@
+// Package erruse implements the dropped-error analyzer.
+//
+// The serving layer's failure handling (DESIGN.md §10) leans on errors
+// actually propagating: a swallowed error from a solve, a decode, or a
+// submit turns a recoverable fault into silent data loss. Two drop
+// shapes are reported:
+//
+//   - A call whose error result is discarded implicitly — used as a bare
+//     statement, deferred, or spawned. Writing `_ = f()` (or `x, _ :=`)
+//     is an explicit, reviewed opt-out and is not flagged. Best-effort
+//     console output via package fmt and the never-failing writers
+//     *strings.Builder and *bytes.Buffer are exempt.
+//
+//   - A short variable declaration that shadows an error variable whose
+//     pending value is both unchecked at the shadow point (written, with
+//     no read in between) and consulted after it — the later check reads
+//     a stale value, the classic `if err := ...` typo for `if err = ...`.
+//
+// The analyzer sees only the non-test files the loader parses, so test
+// helpers are out of scope by construction. Reviewed drops opt out per
+// line with a reasoned //lint:ignore erruse suppression.
+package erruse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imflow/internal/analysis"
+)
+
+// Analyzer is the erruse analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "erruse",
+	Doc:  "error results may not be dropped: discarding implicitly or shadowing err before its check loses failures",
+	Run:  run,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDiscards(pass, fd)
+			checkShadows(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDiscards reports statement-position calls whose error results
+// vanish.
+func checkDiscards(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		how := "discarded"
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+			how = "discarded by defer"
+		case *ast.GoStmt:
+			call = n.Call
+			how = "discarded by go"
+		default:
+			return true
+		}
+		if call == nil {
+			return true
+		}
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Results() == nil {
+			return true
+		}
+		returnsError := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), errType) {
+				returnsError = true
+			}
+		}
+		if !returnsError || exemptCallee(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error result of %s is %s; check it or assign it to _ explicitly", calleeName(pass, call), how)
+		return true
+	})
+}
+
+// exemptCallee reports callees whose returned errors are reviewed as
+// meaningless: fmt's best-effort printers and the never-failing
+// strings.Builder / bytes.Buffer writers.
+func exemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.Underlying().(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := types.Unalias(rt).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return true
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, nil for dynamic calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders the callee for the diagnostic.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return "the call"
+}
+
+// checkShadows reports inner := declarations of an error variable whose
+// same-named outer variable has a pending unchecked write at the shadow
+// point and a read after it.
+func checkShadows(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Event collection: for every error-typed variable of this function,
+	// where is it written (definition or assignment) and where is it read?
+	type events struct {
+		writes []token.Pos
+		reads  []token.Pos
+	}
+	ev := map[*types.Var]*events{}
+	rec := func(o *types.Var) *events {
+		e, ok := ev[o]
+		if !ok {
+			e = &events{}
+			ev[o] = e
+		}
+		return e
+	}
+	errVar := func(o types.Object) *types.Var {
+		v, ok := o.(*types.Var)
+		if ok && types.Identical(v.Type(), errType) {
+			return v
+		}
+		return nil
+	}
+	// Parameters and named results are written at their declaration.
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		sig := fn.Type().(*types.Signature)
+		for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+			if tuple == nil {
+				continue
+			}
+			for i := 0; i < tuple.Len(); i++ {
+				if v := errVar(tuple.At(i)); v != nil && v.Name() != "" {
+					rec(v).writes = append(rec(v).writes, v.Pos())
+				}
+			}
+		}
+	}
+	writeIdent := map[*ast.Ident]bool{}
+	var shadows []*ast.Ident // := definitions, shadow candidates
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writeIdent[id] = true
+					if n.Tok == token.DEFINE && pass.Info.Defs[id] != nil {
+						shadows = append(shadows, id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				writeIdent[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := pass.Info.Defs[id]
+		if o == nil {
+			o = pass.Info.Uses[id]
+		}
+		v := errVar(o)
+		if v == nil {
+			return true
+		}
+		if writeIdent[id] {
+			rec(v).writes = append(rec(v).writes, id.Pos())
+		} else {
+			rec(v).reads = append(rec(v).reads, id.Pos())
+		}
+		return true
+	})
+	for _, id := range shadows {
+		inner := errVar(pass.Info.Defs[id])
+		if inner == nil {
+			continue
+		}
+		s := id.Pos()
+		// The innermost same-named error variable whose scope encloses the
+		// shadow point.
+		var outer *types.Var
+		for v := range ev {
+			if v == inner || v.Name() != id.Name || v.Pos() >= s {
+				continue
+			}
+			if v.Parent() == nil || !v.Parent().Contains(s) {
+				continue
+			}
+			if outer == nil || v.Pos() > outer.Pos() {
+				outer = v
+			}
+		}
+		if outer == nil {
+			continue
+		}
+		oe := ev[outer]
+		var lastWrite token.Pos
+		for _, w := range oe.writes {
+			if w < s && w > lastWrite {
+				lastWrite = w
+			}
+		}
+		if lastWrite == token.NoPos {
+			continue
+		}
+		checkedBetween, staleReadAfter := false, false
+		for _, r := range oe.reads {
+			if r > lastWrite && r < s {
+				checkedBetween = true
+			}
+			if r > s {
+				staleReadAfter = true
+			}
+		}
+		if !checkedBetween && staleReadAfter {
+			pass.Reportf(s, "%s shadows an unchecked error from %s; the later check reads a stale value (use = instead of :=)",
+				id.Name, pass.Fset.Position(lastWrite))
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package erruse_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/erruse"
+)
+
+func TestErruseFixture(t *testing.T) {
+	diags := analyzertest.Run(t, erruse.Analyzer, "testdata/erruse")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; the analyzer is disarmed")
+	}
+}

@@ -1,0 +1,75 @@
+// Package erruse is the want-fixture for the dropped-error analyzer.
+package erruse
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error            { return errors.New("boom") }
+func failsWith() (int, error) { return 0, errors.New("boom") }
+func succeeds() int           { return 1 }
+func use(args ...interface{}) {}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func discards() {
+	fails()       // want "error result of .*erruse.fails is discarded"
+	failsWith()   // want "error result of .*erruse.failsWith is discarded"
+	succeeds()    // no error in the results: no finding
+	defer fails() // want "error result of .*erruse.fails is discarded by defer"
+	go fails()    // want "error result of .*erruse.fails is discarded by go"
+	var c closer
+	defer c.Close() // want "error result of .*erruse.closer..Close is discarded by defer"
+
+	// Explicit blank assignment is a reviewed opt-out.
+	_ = fails()
+	n, _ := failsWith()
+	use(n)
+
+	// Best-effort printers and never-failing writers are exempt.
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "oops\n")
+	var sb strings.Builder
+	sb.WriteString("x")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+}
+
+func shadows() error {
+	n, err := failsWith()
+	use(n)
+	if err != nil {
+		return err
+	}
+	// Checked above: re-deriving err in a new scope is fine.
+	if err := fails(); err != nil {
+		return err
+	}
+
+	m, err2 := failsWith()
+	use(m)
+	if err2 := fails(); err2 != nil { // want "err2 shadows an unchecked error from .*erruse.go"
+		return err2
+	}
+	if err2 != nil { // the stale read: err2 still holds failsWith's error
+		return err2
+	}
+	return nil
+}
+
+func noStaleRead() (err error) {
+	err = fails()
+	// The outer err is never explicitly consulted after the shadow (the
+	// naked return is implicit), so the stale-read condition keeps this
+	// return-shadowing idiom quiet: no finding.
+	if err := fails(); err != nil {
+		use(err)
+	}
+	return
+}

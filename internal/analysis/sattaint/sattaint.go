@@ -1,0 +1,164 @@
+// Package sattaint implements the flow-sensitive upgrade of satarith.
+//
+// satarith's rule is syntactic: raw `+`/`-`/`*` with a cost.Micros
+// operand must go through the cost.Sat* helpers. That leaves a hole the
+// size of one conversion — `int64(m) + x` or `time.Duration(m) * 1000`
+// launders the Micros value into a plain int64-underlying type whose
+// arithmetic wraps silently, defeating the clamp-at-cost.Max discipline
+// the conversion's source was protected by (a Micros clamped at Max and
+// then multiplied wraps negative and compares as "earlier than
+// everything", the exact failure mode DESIGN.md §2 exists to prevent).
+//
+// sattaint closes the hole with the dataflow engine: any conversion of a
+// cost.Micros value to a non-Micros type whose underlying type is int64
+// is a taint source, the taint propagates through assignments, struct
+// fields, containers, and intra-package calls/returns, and raw `+`, `-`,
+// `*` (plus the compound and ++/-- forms) on a tainted value is
+// reported. The division/shift/comparison and constant-folding
+// exemptions mirror satarith, as does the cost-package exemption; sites
+// where either operand is Micros itself are satarith's findings, not
+// repeated here. Cross-package flows are not tracked (the engine's
+// documented caveat), so a Micros laundered through an exported helper's
+// int64 result in another package is invisible — keep such helpers
+// returning Micros.
+//
+// Provably in-range arithmetic opts out per line with a reasoned
+// `//lint:ignore sattaint <why>`.
+package sattaint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imflow/internal/analysis"
+	"imflow/internal/analysis/dataflow"
+)
+
+// costPath is the package allowed to do raw arithmetic on its own
+// representation.
+const costPath = "imflow/internal/cost"
+
+// helper maps a flagged operator to the suggested saturating replacement.
+var helper = map[token.Token]string{
+	token.ADD:        "cost.SatAdd",
+	token.SUB:        "cost.SatSub",
+	token.MUL:        "cost.SatMul",
+	token.ADD_ASSIGN: "cost.SatAdd",
+	token.SUB_ASSIGN: "cost.SatSub",
+	token.MUL_ASSIGN: "cost.SatMul",
+	token.INC:        "cost.SatAdd",
+	token.DEC:        "cost.SatSub",
+}
+
+// Analyzer is the sattaint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sattaint",
+	Doc:  "raw +/-/* on a cost.Micros-derived int64 wraps on overflow; keep the value in cost.Micros and use the Sat* helpers",
+	Run:  run,
+}
+
+// Config is the taint configuration sattaint runs the dataflow engine
+// with: sources are conversions of Micros values to int64-underlying
+// non-Micros types, and any such type carries.
+func Config() dataflow.Config {
+	return dataflow.Config{
+		Source: isLaunderingConversion,
+		Carries: func(t types.Type) bool {
+			return isInt64Underlying(t) && !isMicros(t)
+		},
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == costPath {
+		return nil
+	}
+	taint := dataflow.Run(&analysis.Package{
+		ImportPath: pass.Pkg.Path(),
+		Fset:       pass.Fset,
+		Files:      pass.Files,
+		Types:      pass.Pkg,
+		Info:       pass.Info,
+	}, Config())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				name, flagged := helper[n.Op]
+				if !flagged {
+					return true
+				}
+				// Micros-typed operands are satarith's findings.
+				if isMicros(pass.TypeOf(n.X)) || isMicros(pass.TypeOf(n.Y)) {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded: the compiler checks overflow
+				}
+				if taint.Tainted(n.X) || taint.Tainted(n.Y) {
+					pass.Reportf(n.OpPos, "raw %s on a cost.Micros-derived value can wrap; do the arithmetic in cost.Micros with %s", n.Op, name)
+				}
+			case *ast.AssignStmt:
+				name, flagged := helper[n.Tok]
+				if !flagged || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				if isMicros(pass.TypeOf(n.Lhs[0])) {
+					return true
+				}
+				if taint.LValueTainted(n.Lhs[0]) || taint.Tainted(n.Rhs[0]) {
+					pass.Reportf(n.TokPos, "raw %s on a cost.Micros-derived value can wrap; do the arithmetic in cost.Micros with %s", n.Tok, name)
+				}
+			case *ast.IncDecStmt:
+				if isMicros(pass.TypeOf(n.X)) {
+					return true
+				}
+				if taint.LValueTainted(n.X) {
+					pass.Reportf(n.TokPos, "raw %s on a cost.Micros-derived value can wrap; do the arithmetic in cost.Micros with %s", n.Tok, helper[n.Tok])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLaunderingConversion reports whether e converts a cost.Micros value
+// into a non-Micros int64-underlying type — the taint source.
+func isLaunderingConversion(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if !isInt64Underlying(tv.Type) || isMicros(tv.Type) {
+		return false
+	}
+	argT, ok := info.Types[call.Args[0]]
+	return ok && isMicros(argT.Type)
+}
+
+func isInt64Underlying(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// isMicros reports whether t is (an alias of) cost.Micros.
+func isMicros(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Micros" && obj.Pkg() != nil && obj.Pkg().Path() == costPath
+}

@@ -1,0 +1,15 @@
+package sattaint_test
+
+import (
+	"testing"
+
+	"imflow/internal/analysis/analyzertest"
+	"imflow/internal/analysis/sattaint"
+)
+
+func TestSattaintFixture(t *testing.T) {
+	diags := analyzertest.Run(t, sattaint.Analyzer, "testdata/sattaint")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; the analyzer is disarmed")
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -56,11 +57,19 @@ func cpuMismatch(report string, oldCPU, freshCPU int) []string {
 // note, never a failure (the smoke configurations run a strict subset of
 // the committed grid by design).
 func unmatchedBaselines(report string, baseline map[string]bool) []string {
-	var out []string
+	// Collect and sort the keys first: ranging over the map directly
+	// made the INFO lines shuffle run to run, which diffs as churn in
+	// the CI logs (detpath flags the pattern for the same reason).
+	var keys []string
 	for key, matched := range baseline {
 		if !matched {
-			out = append(out, fmt.Sprintf("%s: committed entry %q has no fresh counterpart", report, key))
+			keys = append(keys, key)
 		}
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, key := range keys {
+		out = append(out, fmt.Sprintf("%s: committed entry %q has no fresh counterpart", report, key))
 	}
 	return out
 }

@@ -280,12 +280,12 @@ func measureReusable(s retrieval.ReusableSolver, problems []*retrieval.Problem, 
 	rec.Relabels = float64(work.Relabels) / ops
 	rec.GlobalRelabels = float64(globalRelabels) / ops
 	rec.ArcScans = float64(work.ArcScans) / ops
-	var sum int64
+	var sum cost.Micros
 	for _, r := range responses {
-		sum += r
+		sum = cost.SatAdd(sum, cost.Micros(r))
 	}
 	if len(responses) > 0 {
-		rec.MeanResponseUs = float64(sum) / float64(len(responses))
+		rec.MeanResponseUs = float64(int64(sum)) / float64(len(responses))
 	}
 	return rec, responses, nil
 }

@@ -345,13 +345,13 @@ func measureReplay(sys *storage.System, stream []sim.Query) (ServeRecord, []cost
 		return rec, nil, err
 	}
 	responses := make([]cost.Micros, len(results))
-	var sum int64
+	var sum cost.Micros
 	for i, r := range results {
 		responses[i] = r.ResponseTime
-		sum += int64(r.ResponseTime)
+		sum = cost.SatAdd(sum, r.ResponseTime)
 	}
 	fillTiming(&rec, elapsed, sched.latencies, float64(after.Mallocs-before.Mallocs))
-	rec.MeanResponseUs = float64(sum) / float64(len(results))
+	rec.MeanResponseUs = float64(int64(sum)) / float64(len(results))
 	rec.SpeedupVsReplay = 1
 	return rec, responses, nil
 }
@@ -394,13 +394,13 @@ func measureServe(sys *storage.System, stream []sim.Query, workers int, o ServeO
 		return rec, err
 	}
 	latencies := make([]time.Duration, len(results))
-	var sum int64
+	var sum cost.Micros
 	for i, r := range results {
 		latencies[i] = r.Latency
-		sum += int64(r.ResponseTime)
+		sum = cost.SatAdd(sum, r.ResponseTime)
 	}
 	fillTiming(&rec, elapsed, latencies, float64(after.Mallocs-before.Mallocs))
-	rec.MeanResponseUs = float64(sum) / float64(len(results))
+	rec.MeanResponseUs = float64(int64(sum)) / float64(len(results))
 	ss := srv.SolveStats()
 	if ss.Solves > 0 {
 		rec.WarmRate = float64(ss.WarmSolves) / float64(ss.Solves)

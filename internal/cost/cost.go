@@ -18,6 +18,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Micros is a duration or instant measured in integer microseconds.
@@ -110,6 +111,23 @@ func (m Micros) Millis() float64 { return float64(m) / 1000 }
 //imflow:floatboundary
 func (m Micros) String() string {
 	return fmt.Sprintf("%.3fms", m.Millis())
+}
+
+// Duration converts m to a time.Duration, saturating instead of
+// wrapping. A Duration counts nanoseconds, so any Micros beyond
+// ±(2^63-1)/1000 — in particular the Max "infinity" sentinel that
+// saturating arithmetic produces — has no representable nanosecond
+// count; a plain time.Duration(m)*time.Microsecond multiplication
+// wraps it to an arbitrary (often negative) value, which turned the
+// deadline comparison it was written for inside out.
+func (m Micros) Duration() time.Duration {
+	if m > Max/1000 {
+		return time.Duration(math.MaxInt64)
+	}
+	if m < Min/1000 {
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(m) * time.Microsecond
 }
 
 // DiskFinish returns the completion time of a disk with network delay d,

@@ -1,8 +1,10 @@
 package cost
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestFromMillisExactness(t *testing.T) {
@@ -103,6 +105,39 @@ func TestString(t *testing.T) {
 	}
 }
 
+// TestDurationSaturates pins the fix for the deadline-check wrap: a
+// saturated age (SatSub clamped at Max) multiplied into nanoseconds by a
+// plain time.Duration conversion wrapped to -1000ns, which compared
+// "younger than any deadline" and let an unservable query through.
+func TestDurationSaturates(t *testing.T) {
+	cases := []struct {
+		m    Micros
+		want time.Duration
+	}{
+		{0, 0},
+		{8300, 8300 * time.Microsecond},
+		{-8300, -8300 * time.Microsecond},
+		{Max / 1000, time.Duration(Max/1000) * time.Microsecond},
+		{Max/1000 + 1, time.Duration(math.MaxInt64)},
+		{Max, time.Duration(math.MaxInt64)},
+		{Min / 1000, time.Duration(Min/1000) * time.Microsecond},
+		{Min/1000 - 1, time.Duration(math.MinInt64)},
+		{Min, time.Duration(math.MinInt64)},
+	}
+	for _, c := range cases {
+		if got := c.m.Duration(); got != c.want {
+			t.Errorf("Micros(%d).Duration() = %d, want %d", c.m, got, c.want)
+		}
+	}
+	// The shape of the original bug, for the record: the unclamped
+	// conversion of the Max sentinel wraps negative. (Computed through a
+	// variable: as a constant expression the overflow would not compile.)
+	sentinel := Max
+	if wrapped := time.Duration(sentinel) * time.Microsecond; wrapped >= 0 {
+		t.Fatalf("expected the naive conversion to wrap negative, got %d", wrapped)
+	}
+}
+
 func TestSatAdd(t *testing.T) {
 	cases := []struct{ a, b, want Micros }{
 		{1, 2, 3},
@@ -128,8 +163,8 @@ func TestSatSub(t *testing.T) {
 	cases := []struct{ a, b, want Micros }{
 		{5, 3, 2},
 		{3, 5, -2},
-		{0, Min, Max},   // -Min overflows; saturate
-		{-1, Min, Max},  // -1 - Min = Max exactly
+		{0, Min, Max},  // -Min overflows; saturate
+		{-1, Min, Max}, // -1 - Min = Max exactly
 		{-2, Min, Max - 1},
 		{Min, 1, Min},
 		{Min, Max, Min},

@@ -10,7 +10,11 @@ import "imflow/internal/flowgraph"
 const AuditEnabled = false
 
 // AuditFlow is a no-op without the imflow_audit build tag.
+//
+//imflow:det
 func AuditFlow(g *flowgraph.Graph, s, t int) {}
 
 // Audit is a no-op without the imflow_audit build tag.
+//
+//imflow:det
 func Audit(g *flowgraph.Graph, s, t int) {}

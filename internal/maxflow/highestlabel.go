@@ -69,6 +69,7 @@ func (hl *HighestLabel) Reset() {
 // Per-solve scratch is engine-owned and amortized across reuse.
 //
 //imflow:allocok
+//imflow:det
 func (hl *HighestLabel) Run(s, t int) int64 {
 	g := hl.g
 	n := g.N

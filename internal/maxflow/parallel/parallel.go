@@ -151,6 +151,7 @@ func (s *Solver) Threads() int { return s.threads }
 //
 // Per-solve scratch is engine-owned and amortized across reuse.
 //
+//imflow:detsafe arc-level flow assignment is racy by design; the returned flow value is canonical and audited against the sequential engines
 //imflow:quiescent
 //imflow:allocok
 func (s *Solver) Run(src, sink int) int64 {

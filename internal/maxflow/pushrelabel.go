@@ -83,6 +83,7 @@ func (pr *PushRelabel) Reset() {
 // Per-solve scratch is engine-owned and amortized across reuse.
 //
 //imflow:allocok
+//imflow:det
 func (pr *PushRelabel) Run(s, t int) int64 {
 	g := pr.g
 	n := g.N

@@ -58,6 +58,7 @@ func (rt *RelabelToFront) Reset() {
 // Per-solve scratch is engine-owned and amortized across reuse.
 //
 //imflow:allocok
+//imflow:det
 func (rt *RelabelToFront) Run(s, t int) int64 {
 	g := rt.g
 	n := g.N
@@ -244,6 +245,7 @@ func (e *ScalingEdmondsKarp) Reset() {
 // Per-solve scratch is engine-owned and amortized across reuse.
 //
 //imflow:allocok
+//imflow:det
 func (e *ScalingEdmondsKarp) Run(s, t int) int64 {
 	g := e.g
 	if len(e.parent) < g.N {

@@ -63,6 +63,8 @@ func (s *PRIncremental) Solve(p *Problem) (*Result, error) {
 }
 
 // SolveInto implements ReusableSolver.
+//
+//imflow:det
 func (s *PRIncremental) SolveInto(p *Problem, res *Result) error {
 	return s.solveMasked(p, nil, res)
 }
@@ -213,6 +215,8 @@ func (s *PRBinary) Solve(p *Problem) (*Result, error) {
 }
 
 // SolveInto implements ReusableSolver.
+//
+//imflow:det
 func (s *PRBinary) SolveInto(p *Problem, res *Result) error {
 	return s.solveMasked(p, nil, res)
 }

@@ -78,6 +78,7 @@ func (s *PRBinary) speculativeSearch(res *Result, target int64, tmin, tmax, minS
 		for i := 0; i < k; i++ {
 			pc := &s.probes[i]
 			wg.Add(1)
+			//lint:ignore detpath probes run on private graph copies and only tighten the bracket; the commit rules keep the final schedule identical to the sequential search
 			go func() {
 				defer wg.Done()
 				pc.g.CopyFrom(net.g)

@@ -474,6 +474,8 @@ func (s *Server) Start(ctx context.Context) {
 }
 
 // now returns the wall clock as model microseconds since Start.
+//
+//imflow:detsafe wall-clock admission horizon, captured once per batch before any fan-out; every pool width sees the same value
 func (s *Server) now() cost.Micros {
 	return cost.Micros(time.Since(s.start) / time.Microsecond)
 }

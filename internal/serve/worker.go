@@ -14,6 +14,8 @@ import (
 // sinceSubmit returns the wall-clock age of a query's admission, zero for
 // queries that never went through Submit (white-box tests drive workers
 // directly).
+//
+//imflow:detsafe observability-only latency stamp; response times and schedules never read it
 func sinceSubmit(q *Query) time.Duration {
 	if q.submitted.IsZero() {
 		return 0
@@ -179,6 +181,7 @@ func (w *worker) serveBatch(batch []Query) error {
 // step for step, which is what makes its response times bit-identical to
 // stream replay.
 //
+//imflow:det
 //imflow:noalloc
 func (w *worker) serveDeterministic(batch []Query) error {
 	s := w.srv
@@ -349,6 +352,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 // boundary leaf of the noalloc walk.
 //
 //imflow:allocok
+//imflow:det
 func (w *worker) serveBatchPool(batch []Query) error {
 	s := w.srv
 	now := s.now()
@@ -386,6 +390,7 @@ func (w *worker) serveBatchPool(batch []Query) error {
 		pm := &w.pool[m]
 		pm.err = nil
 		wg.Add(1)
+		//lint:ignore detpath index-disjoint slots solved against a read-only table; the serial phase-C write-back replays batch order, so results are pool-width-invariant
 		go func(m int) {
 			defer wg.Done()
 			for j := m; j < len(todo); j += p {
@@ -466,14 +471,16 @@ func (w *worker) rejectLate(q *Query) bool {
 // time — the serving clock minus the query's arrival — never the wall
 // clock, so replay with deadlines set stays bit-identical to sim no
 // matter how the goroutines are scheduled. The clock is passed in by the
-// mutex-holding caller.
+// mutex-holding caller. The age converts through Micros.Duration, which
+// saturates: a clock at the Max sentinel rejects the query instead of
+// wrapping negative and slipping past the deadline comparison.
 //
 //imflow:noalloc
 func (w *worker) rejectLateAt(q *Query, clock cost.Micros) bool {
 	if q.Deadline <= 0 {
 		return false
 	}
-	if age := time.Duration(cost.SatSub(clock, q.Arrival)) * time.Microsecond; age <= q.Deadline {
+	if age := cost.SatSub(clock, q.Arrival).Duration(); age <= q.Deadline {
 		return false
 	}
 	w.srv.nRejected.Add(1)

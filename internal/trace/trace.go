@@ -84,14 +84,20 @@ func Read(r io.Reader) (*Trace, error) {
 	return &t, nil
 }
 
-// SaveFile writes the trace to a file path.
+// SaveFile writes the trace to a file path. The Close error is
+// propagated, not deferred away: on a written file it is the write-back
+// of buffered data, and swallowing it reports a truncated trace as
+// saved.
 func (t *Trace) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return t.Write(f)
+	if err := t.Write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // LoadFile reads a trace from a file path.
@@ -100,6 +106,7 @@ func LoadFile(path string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore erruse close of a file only ever read; there is nothing buffered to lose
 	defer f.Close()
 	return Read(f)
 }
