@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-baseline lint-accept vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-diff profile check
+.PHONY: build test race lint lint-baseline lint-accept vet fuzz audit fault-stress bench bench-smoke bench-serve bench-serve-smoke bench-fault bench-fault-smoke bench-http bench-http-smoke bench-diff profile check
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 ## race: race-detector stress over the lock-free solver, its callers,
-## the sharded serving layer, and the analysis framework's driver tests.
+## the sharded serving layer, the HTTP front end, and the analysis
+## framework's driver tests.
 race:
-	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/sim/... ./internal/fault/... ./internal/analysis/...
+	$(GO) test -race ./internal/maxflow/... ./internal/retrieval/... ./internal/serve/... ./internal/httpd/... ./internal/sim/... ./internal/fault/... ./internal/analysis/...
 
 ## lint: the repository's custom analyzers (microsfloat, satarith,
 ## atomicfield, lockguard, noalloc, directive, plus the module-level
@@ -43,6 +44,8 @@ vet:
 fuzz:
 	$(GO) test -fuzz=FuzzReadProblem -fuzztime=30s ./internal/encoding/
 	$(GO) test -fuzz=FuzzSolverConsensus -fuzztime=30s ./internal/retrieval/
+	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s ./internal/httpd/
+	$(GO) test -fuzz=FuzzDecodeSubmit -fuzztime=30s ./internal/httpd/
 
 ## audit: re-run the solver tests with the imflow_audit build tag, arming
 ## the max-flow = min-cut certificate checks after every engine run.
@@ -56,6 +59,7 @@ audit:
 fault-stress:
 	$(GO) test -race -count=3 ./internal/fault/
 	$(GO) test -race -count=3 -run 'Chaos|Failover|Fault|Drain|Deadline|PartialServe|Warm|Cache|Compact|Speculative|BatchPool' ./internal/sim/ ./internal/serve/ ./internal/retrieval/ ./internal/maxflow/...
+	$(GO) test -race -count=3 -run 'Cancel|Disconnect|Shutdown|Shed|Stress|Deadline' ./internal/httpd/ ./internal/serve/
 	$(GO) test -tags imflow_audit -run 'Chaos|Failover|Fault|PartialServe|Warm|Cache|Compact|Speculative|BatchPool' ./internal/sim/ ./internal/serve/ ./internal/integration/ ./internal/retrieval/ ./internal/maxflow/...
 
 ## bench: regenerate BENCH_retrieval.json — the steady-state integrated
@@ -86,6 +90,16 @@ bench-fault:
 bench-fault-smoke:
 	$(GO) run ./cmd/imflow-serve-bench -fault -smoke -out BENCH_fault.json
 
+## bench-http: regenerate BENCH_http.json — overload resilience of the
+## HTTP front end: per shed policy, closed-loop calibration then steady /
+## sustained-overload / flash-crowd phases against a live loopback server
+## (offered vs served qps, shed rate, latency percentiles, evictions).
+bench-http:
+	$(GO) run ./cmd/imflow-serve-bench -http -out BENCH_http.json
+
+bench-http-smoke:
+	$(GO) run ./cmd/imflow-serve-bench -http -smoke -out BENCH_http.json
+
 ## profile: CPU + allocation profiles of the steady-state retrieval suite
 ## on one paper-scale cell, written under /tmp/imflow-prof for
 ## `go tool pprof`. The cell and repeat count keep the run under a minute
@@ -106,9 +120,11 @@ bench-diff:
 	$(GO) run ./cmd/imflow-bench -out /tmp/imflow-bench-new/BENCH_retrieval.json
 	$(GO) run ./cmd/imflow-serve-bench -out /tmp/imflow-bench-new/BENCH_serve.json
 	$(GO) run ./cmd/imflow-serve-bench -fault -out /tmp/imflow-bench-new/BENCH_fault.json
+	$(GO) run ./cmd/imflow-serve-bench -http -out /tmp/imflow-bench-new/BENCH_http.json
 	$(GO) run ./cmd/imflow-bench-diff \
 		-old BENCH_retrieval.json -new /tmp/imflow-bench-new/BENCH_retrieval.json \
 		-old-serve BENCH_serve.json -new-serve /tmp/imflow-bench-new/BENCH_serve.json \
-		-old-fault BENCH_fault.json -new-fault /tmp/imflow-bench-new/BENCH_fault.json
+		-old-fault BENCH_fault.json -new-fault /tmp/imflow-bench-new/BENCH_fault.json \
+		-old-http BENCH_http.json -new-http /tmp/imflow-bench-new/BENCH_http.json
 
 check: build vet lint-baseline test audit race

@@ -12,6 +12,7 @@
 //	imflow-bench-diff -old BENCH_retrieval.json -new fresh.json
 //	imflow-bench-diff -old-serve BENCH_serve.json -new-serve fresh-serve.json
 //	imflow-bench-diff -old-fault BENCH_fault.json -new-fault fresh-fault.json
+//	imflow-bench-diff -old-http BENCH_http.json -new-http fresh-http.json
 //	imflow-bench-diff -allocs-only ...   # CI smoke: machine-independent gates only
 package main
 
@@ -31,6 +32,8 @@ func main() {
 	newServe := flag.String("new-serve", "", "freshly generated BENCH_serve.json")
 	oldFault := flag.String("old-fault", "", "committed BENCH_fault.json baseline")
 	newFault := flag.String("new-fault", "", "freshly generated BENCH_fault.json")
+	oldHTTP := flag.String("old-http", "", "committed BENCH_http.json baseline")
+	newHTTP := flag.String("new-http", "", "freshly generated BENCH_http.json")
 	maxRatio := flag.Float64("max-ratio", 1.25, "tolerated timing regression ratio")
 	allocsOnly := flag.Bool("allocs-only", false,
 		"skip wall-clock gates (for CI, where the baseline's hardware differs)")
@@ -73,8 +76,19 @@ func main() {
 		violations, infos = append(violations, v...), append(infos, i...)
 		checked++
 	}
+	if *newHTTP != "" {
+		if *oldHTTP == "" {
+			fatalf("-new-http requires -old-http")
+		}
+		var oldH, newH bench.HTTPReport
+		readJSON(*oldHTTP, &oldH)
+		readJSON(*newHTTP, &newH)
+		v, i := bench.DiffHTTP(&oldH, &newH, opt)
+		violations, infos = append(violations, v...), append(infos, i...)
+		checked++
+	}
 	if checked == 0 {
-		fatalf("nothing to diff: pass -old/-new, -old-serve/-new-serve, and/or -old-fault/-new-fault")
+		fatalf("nothing to diff: pass -old/-new, -old-serve/-new-serve, -old-fault/-new-fault, and/or -old-http/-new-http")
 	}
 
 	// Entries present in only one document (new modes, narrower smoke

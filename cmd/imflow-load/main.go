@@ -1,0 +1,154 @@
+// Command imflow-load drives an imflow-serve front end with a synthetic
+// workload and prints the client-side accounting as JSON. It discovers
+// the served grid from /metrics, so pointing it at a server is enough —
+// no cell configuration needs to be repeated.
+//
+// Three modes:
+//
+//	closed   Concurrency workers in lockstep (capacity probe)
+//	open     Poisson arrivals at -qps, detached from response times
+//	flash    open-loop base rate with periodic crowd bursts
+//
+// Usage:
+//
+//	imflow-load -url http://localhost:8080 -mode closed -duration 5s
+//	imflow-load -url http://localhost:8080 -mode open -qps 800 -duration 10s
+//	imflow-load -url http://localhost:8080 -mode flash -qps 200 -burst-qps 2000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imflow/internal/bench"
+	"imflow/internal/httpd"
+	"imflow/internal/xrand"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of the imflow-serve front end (required)")
+	mode := flag.String("mode", "closed", "load shape: closed, open, or flash")
+	duration := flag.Duration("duration", 5*time.Second, "pass length")
+	qps := flag.Float64("qps", 0, "open/flash base arrival rate")
+	burstQPS := flag.Float64("burst-qps", 0, "flash crowd rate (default 4x -qps)")
+	burstEvery := flag.Duration("burst-every", 0, "flash period (default duration/4)")
+	burstLen := flag.Duration("burst-len", 0, "flash crowd window (default period/2)")
+	concurrency := flag.Int("concurrency", 0, "closed-loop workers (default 16)")
+	outstanding := flag.Int("outstanding", 0, "open-loop in-flight bound (default 256)")
+	deadlineMs := flag.Int64("deadline-ms", 250, "per-query deadline (0 omits it)")
+	pool := flag.Int("queries", 256, "distinct request bodies to cycle through")
+	maxBuckets := flag.Int("max-buckets", 4, "buckets per generated query (1..max)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	clientID := flag.String("client-id", "", "X-Client-ID header value")
+	out := flag.String("out", "-", "result JSON path (- for stdout)")
+	flag.Parse()
+
+	if *url == "" {
+		fatalf("-url is required")
+	}
+	buckets := discoverBuckets(*url)
+	bodies := makeBodies(buckets, *pool, *maxBuckets, *deadlineMs, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	res, err := bench.RunLoad(ctx, bench.LoadOptions{
+		URL:            *url,
+		Bodies:         bodies,
+		Mode:           *mode,
+		QPS:            *qps,
+		BurstQPS:       *burstQPS,
+		BurstEvery:     *burstEvery,
+		BurstLen:       *burstLen,
+		Duration:       *duration,
+		Concurrency:    *concurrency,
+		MaxOutstanding: *outstanding,
+		Seed:           *seed,
+		ClientID:       *clientID,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatalf("%v", err)
+		}
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"imflow-load: %s %.1fs — offered %d sent %d served %d (%.0f/s) 429 %d 503 %d 504 %d unanswered %d overrun %d p50 %.0fus p99 %.0fus\n",
+		res.Mode, time.Duration(res.ElapsedNs).Seconds(), res.Offered, res.Sent, res.Served, res.AchievedQPS,
+		res.Limited429, res.Unavailable503, res.Deadline504, res.Unanswered, res.Overrun,
+		res.P50LatencyUs, res.P99LatencyUs)
+	if res.Unanswered > 0 {
+		os.Exit(2) // dropped connections: the server degraded un-gracefully
+	}
+}
+
+// discoverBuckets asks the server's /metrics for the grid it fronts.
+func discoverBuckets(url string) int {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		fatalf("discovering the served grid: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("discovering the served grid: /metrics answered %s", resp.Status)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("discovering the served grid: %v", err)
+	}
+	var st httpd.Stats
+	if err := json.Unmarshal(blob, &st); err != nil {
+		fatalf("decoding /metrics: %v", err)
+	}
+	if st.Buckets <= 0 {
+		fatalf("server fronts no bucket allocation (buckets=%d); generate raw replica queries another way", st.Buckets)
+	}
+	return st.Buckets
+}
+
+// makeBodies pre-marshals the request pool: random bucket sets sized
+// 1..maxBuckets, each carrying the configured deadline.
+func makeBodies(buckets, pool, maxBuckets int, deadlineMs int64, seed uint64) [][]byte {
+	if pool <= 0 {
+		pool = 1
+	}
+	if maxBuckets <= 0 {
+		maxBuckets = 1
+	}
+	rng := xrand.New(seed)
+	bodies := make([][]byte, pool)
+	for i := range bodies {
+		qr := httpd.QueryRequest{DeadlineMs: deadlineMs}
+		for j := 1 + rng.Intn(maxBuckets); j > 0; j-- {
+			qr.Buckets = append(qr.Buckets, rng.Intn(buckets))
+		}
+		blob, err := json.Marshal(qr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bodies[i] = blob
+	}
+	return bodies
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "imflow-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,12 +11,18 @@
 // 1..2 failed disks, and degraded serving throughput (queries/sec, p99)
 // at 0..2 failed disks, written as BENCH_fault.json.
 //
+// With -http it runs the overload suite instead: per cell and shed
+// policy, a live httpd front end on a loopback listener is calibrated
+// closed-loop, then offered steady (0.5x), sustained-overload (2x), and
+// flash-crowd phases open-loop, written as BENCH_http.json.
+//
 // Usage:
 //
 //	imflow-serve-bench                          # paper-scale cells, writes BENCH_serve.json
 //	imflow-serve-bench -smoke                   # one tiny cell (CI benchmark smoke)
 //	imflow-serve-bench -n 20 -workers 1,2,4,8   # custom sweep
 //	imflow-serve-bench -fault                   # fault suite, writes BENCH_fault.json
+//	imflow-serve-bench -http                    # overload suite, writes BENCH_http.json
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"imflow/internal/bench"
 )
@@ -47,10 +54,17 @@ func main() {
 	cacheQuantum := flag.Int("cache-quantum-us", 0, "cache-key busy-time quantization in microseconds (default 50000)")
 	faultMode := flag.Bool("fault", false, "run the fault-injection suite instead (writes BENCH_fault.json)")
 	maxFailed := flag.Int("max-failed", 0, "fault suite: sweep 0..max-failed failed disks (default 2)")
+	httpMode := flag.Bool("http", false, "run the HTTP overload suite instead (writes BENCH_http.json)")
+	policies := flag.String("policies", "", "http suite: comma-separated shed policies (default both)")
+	phase := flag.Duration("phase", 0, "http suite: open-loop phase length (default 2s)")
 	flag.Parse()
 
 	if *faultMode {
 		runFaultSuite(*smoke, *out, *ns, *workers, *queries, *seed, *queueDepth, *batch, *expNum, *maxFailed)
+		return
+	}
+	if *httpMode {
+		runHTTPSuite(*smoke, *out, *ns, *workers, *queries, *seed, *policies, *phase)
 		return
 	}
 
@@ -160,6 +174,47 @@ func runFaultSuite(smoke bool, out, ns, workers string, queries int, seed uint64
 			fmt.Fprintf(os.Stderr, "%-28s serve-degraded failed=%d %9.0f q/s %8.0fus p99 %6.2fx vs healthy %6d dropped\n",
 				r.Cell, r.FailedDisks, r.QPS, r.P99LatencyUs, r.QPSvsHealthy, r.DroppedBuckets)
 		}
+	}
+}
+
+// runHTTPSuite maps the shared flags onto the overload benchmark and
+// writes BENCH_http.json (unless -out overrides the path).
+func runHTTPSuite(smoke bool, out, ns, workers string, queries int, seed uint64, policies string, phase time.Duration) {
+	var o bench.HTTPOptions
+	if smoke {
+		o = bench.SmokeHTTPOptions()
+	}
+	if ns != "" {
+		o.Ns = parseInts(ns, "-n")
+	}
+	if workers != "" {
+		ws := parseInts(workers, "-workers")
+		o.Workers = ws[len(ws)-1] // the http suite runs one shard count
+	}
+	if queries > 0 {
+		o.Queries = queries
+	}
+	if seed != 0 {
+		o.Seed = seed
+	}
+	if policies != "" {
+		o.Policies = strings.Split(policies, ",")
+	}
+	if phase > 0 {
+		o.PhaseDuration = phase
+	}
+	if out == "BENCH_serve.json" {
+		out = "BENCH_http.json"
+	}
+	report, err := bench.RunHTTP(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeReport(out, report, len(report.Records))
+
+	for _, r := range report.Records {
+		fmt.Fprintf(os.Stderr, "%-28s %-20s %-8s %8.0f offered/s %8.0f served/s %5.1f%% shed %8.0fus p99 %4d unanswered\n",
+			r.Cell, r.Policy, r.Phase, r.OfferedQPS, r.AchievedQPS, 100*r.ShedRate, r.P99LatencyUs, r.Unanswered)
 	}
 }
 

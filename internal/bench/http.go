@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"imflow/internal/cost"
+	"imflow/internal/experiment"
+	"imflow/internal/httpd"
+	"imflow/internal/maxflow"
+	"imflow/internal/query"
+	"imflow/internal/serve"
+	"imflow/internal/sim"
+	"imflow/internal/xrand"
+)
+
+// HTTPOptions configure the overload benchmark behind `imflow-serve-bench
+// -http`: per cell and shed policy, a closed-loop calibration run pins
+// the front end's capacity, then three open-loop phases offer fractions
+// of it — steady (0.5x), sustained overload (2x), and a flash crowd
+// (0.5x base with 4x bursts).
+type HTTPOptions struct {
+	Ns       []int    `json:"ns"`       // grid sizes to sweep
+	Policies []string `json:"policies"` // shed policies (default both)
+	Workers  int      `json:"workers"`  // serve-layer shards (default 4)
+	// MaxInflight is the front end's admission window (default 64).
+	MaxInflight int    `json:"max_inflight"`
+	Queries     int    `json:"queries"` // request-body pool size (default 256)
+	Seed        uint64 `json:"seed"`
+	// Concurrency is the closed-loop calibration worker count (default 16).
+	Concurrency int `json:"concurrency"`
+	// DeadlineMs rides on every generated query (default 250).
+	DeadlineMs        int64         `json:"deadline_ms"`
+	CalibrateDuration time.Duration `json:"calibrate_duration"` // default 500ms
+	PhaseDuration     time.Duration `json:"phase_duration"`     // default 2s
+}
+
+func (o HTTPOptions) withDefaults() HTTPOptions {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{20}
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []string{"reject-new", "drop-latest-deadline"}
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.Queries <= 0 {
+		o.Queries = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.DeadlineMs <= 0 {
+		o.DeadlineMs = 250
+	}
+	if o.CalibrateDuration <= 0 {
+		o.CalibrateDuration = 500 * time.Millisecond
+	}
+	if o.PhaseDuration <= 0 {
+		o.PhaseDuration = 2 * time.Second
+	}
+	return o
+}
+
+// SmokeHTTPOptions returns the small configuration the CI smoke job runs.
+func SmokeHTTPOptions() HTTPOptions {
+	return HTTPOptions{
+		Ns:                []int{8},
+		Queries:           128,
+		CalibrateDuration: 150 * time.Millisecond,
+		PhaseDuration:     250 * time.Millisecond,
+	}.withDefaults()
+}
+
+// HTTPRecord is one (cell, policy, phase) load pass through a live front
+// end on a loopback listener.
+type HTTPRecord struct {
+	Cell    string `json:"cell"`
+	N       int    `json:"n"`
+	Policy  string `json:"policy"`
+	Phase   string `json:"phase"` // "steady", "overload", or "flash"
+	Workers int    `json:"workers"`
+
+	// CalibratedQPS is the closed-loop capacity estimate the phase's
+	// offered rate was derived from.
+	CalibratedQPS float64 `json:"calibrated_qps"`
+	OfferedQPS    float64 `json:"offered_qps"`
+	AchievedQPS   float64 `json:"achieved_qps"`
+
+	Offered        int `json:"offered"`
+	Sent           int `json:"sent"`
+	Overrun        int `json:"overrun"`
+	Served         int `json:"served"`
+	Limited429     int `json:"limited_429"`
+	Unavailable503 int `json:"unavailable_503"`
+	Deadline504    int `json:"deadline_504"`
+	OtherStatus    int `json:"other_status"`
+	Unanswered     int `json:"unanswered"`
+
+	// ShedRate is the share of sent requests the server explicitly
+	// turned away with backpressure statuses (429 + 503) — load the
+	// server declined by design, as opposed to Unanswered (load it
+	// dropped on the floor, which the gate treats as a failure).
+	ShedRate float64 `json:"shed_rate"`
+
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P95LatencyUs float64 `json:"p95_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+
+	// Server-side degradation activity during the phase (snapshot deltas).
+	Retries   int64 `json:"retries,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
+}
+
+// HTTPReport is the BENCH_http.json document.
+type HTTPReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs,omitempty"`
+	Audit      bool         `json:"audit_build"`
+	Options    HTTPOptions  `json:"options"`
+	Records    []HTTPRecord `json:"records"`
+}
+
+// httpPhases are the offered-load shapes, as multiples of calibrated
+// capacity.
+var httpPhases = []struct {
+	name  string
+	mode  string
+	base  float64 // base rate x capacity
+	burst float64 // flash crowd rate x capacity (flash only)
+}{
+	{name: "steady", mode: "open", base: 0.5},
+	{name: "overload", mode: "open", base: 2.0},
+	{name: "flash", mode: "flash", base: 0.5, burst: 4.0},
+}
+
+// RunHTTP executes the overload suite: per cell and policy, a real
+// httpd.Server on a loopback listener is calibrated closed-loop and then
+// offered the steady / overload / flash phases open-loop.
+func RunHTTP(o HTTPOptions) (*HTTPReport, error) {
+	o = o.withDefaults()
+	report := &HTTPReport{
+		Schema:     "imflow/bench-http/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Audit:      maxflow.AuditEnabled,
+		Options:    o,
+	}
+	for _, n := range o.Ns {
+		cfg := experiment.Config{
+			ExpNum:  2,
+			Alloc:   experiment.RDA,
+			Type:    query.Range,
+			Load:    query.Load2,
+			N:       n,
+			Queries: 1,
+			Seed:    o.Seed + uint64(n)*1000003,
+		}
+		inst, err := cfg.Build()
+		if err != nil {
+			return nil, err
+		}
+		bodies, err := queryBodies(inst, o)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", cfg, err)
+		}
+		for _, policyName := range o.Policies {
+			recs, err := runHTTPCell(inst, bodies, policyName, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cell %s policy %s: %w", cfg, policyName, err)
+			}
+			for i := range recs {
+				recs[i].Cell, recs[i].N = cfg.String(), n
+			}
+			report.Records = append(report.Records, recs...)
+		}
+	}
+	return report, nil
+}
+
+// queryBodies pre-marshals the request pool from the cell's workload so
+// the generator's hot loop never touches the encoder. Deadlines vary
+// across [DeadlineMs/4, DeadlineMs]: with a uniform deadline the
+// drop-latest-deadline policy degenerates to reject-new (the newest
+// arrival always holds the latest absolute deadline), so the spread is
+// what keeps the eviction path honest in the measurements.
+func queryBodies(inst *experiment.Instance, o HTTPOptions) ([][]byte, error) {
+	spec := sim.StreamSpec{
+		System:   inst.System,
+		Alloc:    inst.Alloc,
+		Type:     query.Range,
+		Load:     query.Load2,
+		Arrivals: sim.PoissonArrivals{Mean: cost.FromMillis(1)},
+		Queries:  o.Queries,
+		Seed:     inst.Config.Seed,
+	}
+	stream, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(o.Seed ^ 0xdead11e5)
+	lo := o.DeadlineMs / 4
+	if lo < 1 {
+		lo = 1
+	}
+	bodies := make([][]byte, len(stream))
+	for i, q := range stream {
+		d := lo + int64(rng.Intn(int(o.DeadlineMs-lo)+1))
+		body, err := json.Marshal(httpd.QueryRequest{Replicas: q.Replicas, DeadlineMs: d})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	return bodies, nil
+}
+
+// runHTTPCell brings up one front end, calibrates it, runs the three
+// phases, and tears it down cleanly.
+func runHTTPCell(inst *experiment.Instance, bodies [][]byte, policyName string, o HTTPOptions) ([]HTTPRecord, error) {
+	policy, err := httpd.ParsePolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := httpd.New(inst.System, inst.Alloc, httpd.Options{
+		Serve:        serve.Options{Workers: o.Workers},
+		MaxInflight:  o.MaxInflight,
+		Policy:       policy,
+		AdmitTimeout: 10 * time.Millisecond,
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s}
+	go func() { _ = hs.Serve(ln) }()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * o.MaxInflight,
+		MaxIdleConnsPerHost: 4 * o.MaxInflight,
+	}}
+	defer client.CloseIdleConnections()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		_ = s.Shutdown(ctx)
+	}()
+
+	base := LoadOptions{
+		URL:            "http://" + ln.Addr().String(),
+		Bodies:         bodies,
+		Concurrency:    o.Concurrency,
+		MaxOutstanding: 4 * o.MaxInflight,
+		Seed:           o.Seed,
+		Client:         client,
+		ClientID:       "bench",
+	}
+
+	cal := base
+	cal.Mode, cal.Duration = "closed", o.CalibrateDuration
+	calRes, err := RunLoad(context.Background(), cal)
+	if err != nil {
+		return nil, err
+	}
+	capacity := calRes.AchievedQPS
+	if capacity < 1 {
+		return nil, fmt.Errorf("calibration found no capacity: %+v", calRes)
+	}
+
+	var recs []HTTPRecord
+	for _, ph := range httpPhases {
+		lo := base
+		lo.Mode, lo.Duration = ph.mode, o.PhaseDuration
+		lo.QPS = ph.base * capacity
+		if ph.mode == "flash" {
+			lo.BurstQPS = ph.burst * capacity
+		}
+		before := s.Stats()
+		res, err := RunLoad(context.Background(), lo)
+		if err != nil {
+			return nil, err
+		}
+		after := s.Stats()
+		rec := HTTPRecord{
+			Policy:         policy.String(),
+			Phase:          ph.name,
+			Workers:        o.Workers,
+			CalibratedQPS:  capacity,
+			OfferedQPS:     res.OfferedQPS,
+			AchievedQPS:    res.AchievedQPS,
+			Offered:        res.Offered,
+			Sent:           res.Sent,
+			Overrun:        res.Overrun,
+			Served:         res.Served,
+			Limited429:     res.Limited429,
+			Unavailable503: res.Unavailable503,
+			Deadline504:    res.Deadline504,
+			OtherStatus:    res.BadRequest + res.OtherStatus,
+			Unanswered:     res.Unanswered,
+			P50LatencyUs:   res.P50LatencyUs,
+			P95LatencyUs:   res.P95LatencyUs,
+			P99LatencyUs:   res.P99LatencyUs,
+			Retries:        after.Retries - before.Retries,
+			Evictions:      after.ShedEvicted - before.ShedEvicted,
+		}
+		if res.Sent > 0 {
+			rec.ShedRate = float64(res.Limited429+res.Unavailable503) / float64(res.Sent)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// DiffHTTP compares a fresh BENCH_http.json against the committed
+// baseline. Records are matched on (cell, phase, policy); one-sided
+// entries are informational, matching the other diffs. Two gates are
+// absolute (machine-independent) and always on: a graceful front end
+// never leaves requests unanswered, and at half capacity (the steady
+// phase) it sheds essentially nothing. Throughput and tail-latency
+// ratios are wall-clock gates behind TimingChecks.
+func DiffHTTP(old, fresh *HTTPReport, o DiffOptions) (violations, infos []string) {
+	o = o.withDefaults()
+	infos = append(infos, cpuMismatch("http", old.NumCPU, fresh.NumCPU)...)
+	const steadyShedBudget = 0.05
+	baseline := make(map[string]HTTPRecord, len(old.Records))
+	matched := make(map[string]bool, len(old.Records))
+	key := func(r HTTPRecord) string {
+		return fmt.Sprintf("%s|%s|%s", r.Cell, r.Phase, r.Policy)
+	}
+	for _, r := range old.Records {
+		baseline[key(r)] = r
+		matched[key(r)] = false
+	}
+	for _, r := range fresh.Records {
+		if r.Unanswered > 0 {
+			violations = append(violations, fmt.Sprintf("%s %s %s: %d requests died without an HTTP answer — degradation must stay explicit (429/503), never a dropped connection",
+				r.Cell, r.Phase, r.Policy, r.Unanswered))
+		}
+		if r.Phase == "steady" && r.ShedRate > steadyShedBudget {
+			violations = append(violations, fmt.Sprintf("%s %s %s: shed rate %.1f%% at half capacity (budget %.0f%%)",
+				r.Cell, r.Phase, r.Policy, 100*r.ShedRate, 100*steadyShedBudget))
+		}
+		if r.Phase == "overload" && r.Served == 0 {
+			violations = append(violations, fmt.Sprintf("%s %s %s: served nothing under overload — shedding collapsed into an outage",
+				r.Cell, r.Phase, r.Policy))
+		}
+		base, ok := baseline[key(r)]
+		if !ok {
+			infos = append(infos, fmt.Sprintf("http: fresh entry %q has no committed baseline", key(r)))
+			continue
+		}
+		matched[key(r)] = true
+		if !o.TimingChecks {
+			continue
+		}
+		if base.AchievedQPS <= 0 {
+			infos = append(infos, fmt.Sprintf("http: committed entry %q has no throughput; timing gate skipped", key(r)))
+		} else if r.AchievedQPS < base.AchievedQPS/o.MaxRatio {
+			violations = append(violations, fmt.Sprintf("%s %s %s: %.0f served/sec, committed %.0f (> %.2fx slower)",
+				r.Cell, r.Phase, r.Policy, r.AchievedQPS, base.AchievedQPS, o.MaxRatio))
+		}
+		// The tail gate is limited to the steady phase: overload and
+		// flash tails measure the shed policy's choices (which queries
+		// to keep), not the server's speed, and are too scheduler-noisy
+		// to gate.
+		if r.Phase == "steady" {
+			if base.P99LatencyUs <= 0 {
+				infos = append(infos, fmt.Sprintf("http: committed entry %q has no p99; tail gate skipped", key(r)))
+			} else if r.P99LatencyUs > base.P99LatencyUs*o.MaxRatio {
+				violations = append(violations, fmt.Sprintf("%s %s %s: p99 %.0fus, committed %.0fus (> %.2fx)",
+					r.Cell, r.Phase, r.Policy, r.P99LatencyUs, base.P99LatencyUs, o.MaxRatio))
+			}
+		}
+	}
+	return violations, append(infos, unmatchedBaselines("http", matched)...)
+}

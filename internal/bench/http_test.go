@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyHTTPOptions keep the overload suite under a second for plain
+// `go test`.
+func tinyHTTPOptions() HTTPOptions {
+	return HTTPOptions{
+		Ns:                []int{8},
+		Policies:          []string{"reject-new"},
+		Queries:           64,
+		Concurrency:       8,
+		MaxInflight:       16,
+		CalibrateDuration: 100 * time.Millisecond,
+		PhaseDuration:     150 * time.Millisecond,
+	}
+}
+
+func TestRunHTTPShape(t *testing.T) {
+	report, err := RunHTTP(tinyHTTPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "imflow/bench-http/v1" {
+		t.Fatalf("schema %q", report.Schema)
+	}
+	if len(report.Records) != 3 {
+		t.Fatalf("%d records, want 3 (one per phase)", len(report.Records))
+	}
+	for i, phase := range []string{"steady", "overload", "flash"} {
+		r := report.Records[i]
+		if r.Phase != phase {
+			t.Fatalf("record %d phase %q, want %q", i, r.Phase, phase)
+		}
+		if r.Unanswered > 0 {
+			t.Errorf("%s: %d unanswered requests — the front end dropped connections", phase, r.Unanswered)
+		}
+		if r.Served == 0 {
+			t.Errorf("%s: served nothing", phase)
+		}
+		if r.ShedRate < 0 || r.ShedRate > 1 {
+			t.Errorf("%s: shed rate %v out of range", phase, r.ShedRate)
+		}
+		if r.CalibratedQPS < 1 || r.OfferedQPS <= 0 {
+			t.Errorf("%s: rates %v offered %v", phase, r.CalibratedQPS, r.OfferedQPS)
+		}
+		if r.Cell == "" || r.Policy != "reject-new" || r.Workers != 4 {
+			t.Errorf("%s: identity fields %+v", phase, r)
+		}
+	}
+	if _, err := json.Marshal(report); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}
+
+// TestRunLoadClassification drives the generator against a scripted
+// handler and checks every status lands in its column.
+func TestRunLoadClassification(t *testing.T) {
+	statuses := []int{200, 429, 503, 504, 400, 418}
+	var n int
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(statuses[n%len(statuses)])
+		n++
+	}))
+	defer hs.Close()
+
+	res, err := RunLoad(context.Background(), LoadOptions{
+		URL:         hs.URL,
+		Bodies:      [][]byte{[]byte(`{"buckets":[0]}`)},
+		Mode:        "closed",
+		Concurrency: 1, // keep the scripted status sequence deterministic
+		Duration:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Sent != res.Offered {
+		t.Fatalf("closed loop accounting: %+v", res)
+	}
+	total := res.Served + res.Limited429 + res.Unavailable503 + res.Deadline504 + res.BadRequest + res.OtherStatus
+	if total != res.Sent || res.Unanswered != 0 {
+		t.Fatalf("status columns do not add up: %+v", res)
+	}
+	for _, col := range []int{res.Served, res.Limited429, res.Unavailable503, res.Deadline504, res.BadRequest, res.OtherStatus} {
+		if res.Sent >= len(statuses) && col == 0 {
+			t.Fatalf("a status class went missing: %+v", res)
+		}
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	bad := []LoadOptions{
+		{},
+		{URL: "http://x", Mode: "closed", Duration: time.Second},                      // no bodies
+		{URL: "http://x", Bodies: [][]byte{nil}, Mode: "warp", Duration: time.Second}, // unknown mode
+		{URL: "http://x", Bodies: [][]byte{nil}, Mode: "open", Duration: time.Second}, // open without QPS
+		{URL: "http://x", Bodies: [][]byte{nil}, Mode: "closed"},                      // no duration
+	}
+	for i, o := range bad {
+		if _, err := RunLoad(context.Background(), o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func httpFixture() *HTTPReport {
+	return &HTTPReport{
+		Schema: "imflow/bench-http/v1",
+		NumCPU: 8,
+		Records: []HTTPRecord{
+			{Cell: "c", Phase: "steady", Policy: "reject-new", Served: 100, Sent: 100, AchievedQPS: 500, P99LatencyUs: 2000, ShedRate: 0.01},
+			{Cell: "c", Phase: "overload", Policy: "reject-new", Served: 120, Sent: 400, AchievedQPS: 600, P99LatencyUs: 9000, ShedRate: 0.7},
+			{Cell: "c", Phase: "flash", Policy: "reject-new", Served: 110, Sent: 300, AchievedQPS: 550, P99LatencyUs: 8000, ShedRate: 0.6},
+		},
+	}
+}
+
+func TestDiffHTTPClean(t *testing.T) {
+	old, fresh := httpFixture(), httpFixture()
+	violations, infos := DiffHTTP(old, fresh, DiffOptions{TimingChecks: true})
+	if len(violations) != 0 || len(infos) != 0 {
+		t.Fatalf("self-diff not clean: %v %v", violations, infos)
+	}
+}
+
+func TestDiffHTTPGates(t *testing.T) {
+	old := httpFixture()
+
+	fresh := httpFixture()
+	fresh.Records[1].Unanswered = 3
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "without an HTTP answer") {
+		t.Fatalf("unanswered gate: %v", v)
+	}
+
+	fresh = httpFixture()
+	fresh.Records[0].ShedRate = 0.2
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "half capacity") {
+		t.Fatalf("steady shed gate: %v", v)
+	}
+
+	fresh = httpFixture()
+	fresh.Records[1].Served = 0
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{}); len(v) != 1 || !strings.Contains(v[0], "outage") {
+		t.Fatalf("overload collapse gate: %v", v)
+	}
+
+	// Timing regressions only bite behind TimingChecks.
+	fresh = httpFixture()
+	fresh.Records[2].AchievedQPS = 100
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{}); len(v) != 0 {
+		t.Fatalf("qps gate fired without TimingChecks: %v", v)
+	}
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{TimingChecks: true}); len(v) != 1 || !strings.Contains(v[0], "slower") {
+		t.Fatalf("qps gate: %v", v)
+	}
+
+	fresh = httpFixture()
+	fresh.Records[0].P99LatencyUs = 10000
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{TimingChecks: true}); len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("steady p99 gate: %v", v)
+	}
+	fresh = httpFixture()
+	fresh.Records[1].P99LatencyUs = 90000 // overload tails are not gated
+	if v, _ := DiffHTTP(old, fresh, DiffOptions{TimingChecks: true}); len(v) != 0 {
+		t.Fatalf("overload p99 wrongly gated: %v", v)
+	}
+
+	// One-sided entries are informational, never violations.
+	fresh = httpFixture()
+	fresh.Records = fresh.Records[:2]
+	fresh.Records = append(fresh.Records, HTTPRecord{Cell: "c2", Phase: "steady", Policy: "reject-new", Served: 1, Sent: 1})
+	v, infos := DiffHTTP(old, fresh, DiffOptions{TimingChecks: true})
+	if len(v) != 0 {
+		t.Fatalf("one-sided entries raised violations: %v", v)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("want 2 infos (fresh-only + unmatched baseline), got %v", infos)
+	}
+}

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"imflow/internal/stats"
+	"imflow/internal/xrand"
+)
+
+// LoadOptions describe one load-generation pass against an httpd front
+// end. Three modes:
+//
+//   - "closed": Concurrency workers in lockstep — each sends the next
+//     request the moment the previous answer lands. Measures capacity.
+//   - "open": Poisson arrivals at QPS, detached from response times —
+//     the only honest way to offer more than the server can serve.
+//   - "flash": open-loop base rate QPS with periodic crowd windows at
+//     BurstQPS (every BurstEvery, lasting BurstLen).
+type LoadOptions struct {
+	URL        string        `json:"url"`         // base URL, e.g. http://127.0.0.1:8080
+	Bodies     [][]byte      `json:"-"`           // pre-marshalled /v1/query payloads, cycled
+	Mode       string        `json:"mode"`        // "closed", "open", or "flash"
+	QPS        float64       `json:"qps"`         // open/flash base arrival rate
+	BurstQPS   float64       `json:"burst_qps"`   // flash crowd rate (default 4x QPS)
+	BurstEvery time.Duration `json:"burst_every"` // flash period (default Duration/4)
+	BurstLen   time.Duration `json:"burst_len"`   // crowd window (default BurstEvery/2)
+	Duration   time.Duration `json:"duration"`
+	// Concurrency is the closed-loop worker count; open modes use it as
+	// the default MaxOutstanding divisor only. Default 16.
+	Concurrency int `json:"concurrency"`
+	// MaxOutstanding bounds open-loop in-flight requests: arrivals past
+	// the bound are dropped client-side and counted as Overrun, never
+	// silently queued (that would close the loop). Default 256.
+	MaxOutstanding int          `json:"max_outstanding"`
+	Seed           uint64       `json:"seed"`
+	ClientID       string       `json:"client_id"` // X-Client-ID header, when set
+	Client         *http.Client `json:"-"`         // default http.DefaultClient
+}
+
+func (o LoadOptions) withDefaults() (LoadOptions, error) {
+	if o.URL == "" {
+		return o, fmt.Errorf("load: URL required")
+	}
+	if len(o.Bodies) == 0 {
+		return o, fmt.Errorf("load: at least one request body required")
+	}
+	switch o.Mode {
+	case "closed":
+	case "open", "flash":
+		if o.QPS <= 0 {
+			return o, fmt.Errorf("load: open-loop mode needs QPS > 0")
+		}
+	default:
+		return o, fmt.Errorf("load: unknown mode %q", o.Mode)
+	}
+	if o.Duration <= 0 {
+		return o, fmt.Errorf("load: Duration required")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Mode == "flash" {
+		if o.BurstQPS <= 0 {
+			o.BurstQPS = 4 * o.QPS
+		}
+		if o.BurstEvery <= 0 {
+			o.BurstEvery = o.Duration / 4
+		}
+		if o.BurstLen <= 0 {
+			o.BurstLen = o.BurstEvery / 2
+		}
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o, nil
+}
+
+// LoadResult is one pass's client-side accounting. Offered counts
+// arrivals the generator produced; Sent the requests that actually went
+// out (open-loop arrivals past MaxOutstanding become Overrun instead);
+// Unanswered the sends that died below HTTP (refused connection, reset,
+// hang) — the failure a graceful server never exhibits.
+type LoadResult struct {
+	Mode        string  `json:"mode"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	Offered     int     `json:"offered"`
+	Sent        int     `json:"sent"`
+	Overrun     int     `json:"overrun"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"` // served / elapsed
+
+	Served         int `json:"served"`          // 200
+	Limited429     int `json:"limited_429"`     // rate limit + backpressure
+	Unavailable503 int `json:"unavailable_503"` // shed, breaker, drain
+	Deadline504    int `json:"deadline_504"`
+	BadRequest     int `json:"bad_request"` // 400/413 — a generator bug
+	OtherStatus    int `json:"other_status"`
+	Unanswered     int `json:"unanswered"`
+
+	// Latency percentiles cover served (200) answers only: the promise
+	// under overload is bounded latency for admitted work, not for work
+	// the server explicitly turned away.
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P95LatencyUs float64 `json:"p95_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+}
+
+// loadCollector folds worker outcomes; all fields guarded by mu.
+type loadCollector struct {
+	mu        sync.Mutex
+	res       LoadResult
+	latencies []float64
+}
+
+func (c *loadCollector) record(status int, latency time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.Sent++
+	if err != nil {
+		c.res.Unanswered++
+		return
+	}
+	switch {
+	case status == http.StatusOK:
+		c.res.Served++
+		c.latencies = append(c.latencies, float64(latency.Microseconds()))
+	case status == http.StatusTooManyRequests:
+		c.res.Limited429++
+	case status == http.StatusServiceUnavailable:
+		c.res.Unavailable503++
+	case status == http.StatusGatewayTimeout:
+		c.res.Deadline504++
+	case status == http.StatusBadRequest || status == http.StatusRequestEntityTooLarge:
+		c.res.BadRequest++
+	default:
+		c.res.OtherStatus++
+	}
+}
+
+// shoot issues one query and classifies the answer. The response body is
+// drained so the transport can reuse the connection.
+func shoot(o LoadOptions, body []byte) (int, time.Duration, error) {
+	req, err := http.NewRequest(http.MethodPost, o.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if o.ClientID != "" {
+		req.Header.Set("X-Client-ID", o.ClientID)
+	}
+	start := time.Now()
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, time.Since(start), nil
+}
+
+// RunLoad drives one load pass and returns the client-side accounting.
+// ctx cancellation stops the generator early (the pass still returns a
+// consistent result over what was sent).
+func RunLoad(ctx context.Context, o LoadOptions) (LoadResult, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return LoadResult{}, err
+	}
+	col := &loadCollector{}
+	start := time.Now()
+	if o.Mode == "closed" {
+		runClosed(ctx, o, col, start)
+	} else {
+		runOpen(ctx, o, col, start)
+	}
+	elapsed := time.Since(start)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	res := col.res
+	res.Mode = o.Mode
+	res.ElapsedNs = elapsed.Nanoseconds()
+	if o.Mode == "closed" {
+		res.Offered = res.Sent
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OfferedQPS = float64(res.Offered) / secs
+		res.AchievedQPS = float64(res.Served) / secs
+	}
+	if len(col.latencies) > 0 {
+		ps := stats.Percentiles(col.latencies, 50, 95, 99)
+		res.P50LatencyUs, res.P95LatencyUs, res.P99LatencyUs = ps[0], ps[1], ps[2]
+	}
+	return res, nil
+}
+
+// runClosed is the lockstep capacity probe: each worker keeps exactly
+// one request in flight until the clock runs out.
+func runClosed(ctx context.Context, o LoadOptions, col *loadCollector, start time.Time) {
+	end := start.Add(o.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(end) && ctx.Err() == nil; i++ {
+				body := o.Bodies[(w+i*o.Concurrency)%len(o.Bodies)]
+				status, latency, err := shoot(o, body)
+				col.record(status, latency, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen paces Poisson arrivals on an absolute schedule (drift from
+// sleep overshoot never compounds) and hands each to a worker from a
+// bounded pool; a full pool turns the arrival into a client-side drop
+// (Overrun), keeping the loop honestly open.
+func runOpen(ctx context.Context, o LoadOptions, col *loadCollector, start time.Time) {
+	end := start.Add(o.Duration)
+	rng := xrand.New(o.Seed)
+	sem := make(chan struct{}, o.MaxOutstanding)
+	var wg sync.WaitGroup
+	next := start
+	for i := 0; ; i++ {
+		rate := o.QPS
+		if o.Mode == "flash" && time.Since(start)%o.BurstEvery < o.BurstLen {
+			rate = o.BurstQPS
+		}
+		next = next.Add(expGap(rng, rate))
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				wg.Wait()
+				return
+			}
+		}
+		col.mu.Lock()
+		col.res.Offered++
+		col.mu.Unlock()
+		select {
+		case sem <- struct{}{}:
+			body := o.Bodies[i%len(o.Bodies)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				status, latency, err := shoot(o, body)
+				col.record(status, latency, err)
+			}()
+		default:
+			col.mu.Lock()
+			col.res.Overrun++
+			col.mu.Unlock()
+		}
+	}
+	wg.Wait()
+}
+
+// expGap draws one exponential inter-arrival gap for the given rate.
+func expGap(rng *xrand.Source, perSec float64) time.Duration {
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return time.Duration(-math.Log(u) / perSec * float64(time.Second))
+}

@@ -1,0 +1,42 @@
+package fault
+
+import "errors"
+
+// TransientError marks an error as a transient fault-epoch condition: the
+// operation failed because chaos moved underneath it (a disk failed
+// mid-solve, retries exhausted against a moving mask), not because the
+// request itself is malformed. Callers holding a retry budget — the HTTP
+// front end's backoff loop, a load generator — may retry a transient
+// error against the same or another shard; a non-transient error must
+// surface unchanged.
+type TransientError struct {
+	// Err is the underlying cause; never nil.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient fault: " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil, and an error
+// already marked transient is returned unchanged, so classification
+// points can wrap unconditionally without stacking markers.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// retryable by Transient.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("retries exhausted against moving mask")
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Fatal("Transient-wrapped error not classified as transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("Transient wrapper hides the cause from errors.Is")
+	}
+	// Wrapping through fmt must keep the classification visible.
+	wrapped := fmt.Errorf("shard 2: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("fmt-wrapped transient error lost its classification")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("fmt-wrapped transient error lost its cause")
+	}
+}
+
+func TestTransientNilAndIdempotent(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must stay nil")
+	}
+	base := errors.New("boom")
+	once := Transient(base)
+	twice := Transient(once)
+	if twice != once {
+		t.Fatal("double Transient stacked a second marker")
+	}
+	again := Transient(fmt.Errorf("ctx: %w", once))
+	var te *TransientError
+	if !errors.As(again, &te) || te.Err != base {
+		// Already-marked errors keep their original marker even under
+		// further wrapping.
+		if !IsTransient(again) {
+			t.Fatal("re-wrapped transient error lost its classification")
+		}
+	}
+}
+
+func TestNonTransient(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil classified as transient")
+	}
+	if IsTransient(errors.New("bad request")) {
+		t.Fatal("plain error classified as transient")
+	}
+}

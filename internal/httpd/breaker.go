@@ -1,0 +1,107 @@
+package httpd
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker automaton.
+type breakerState uint8
+
+const (
+	// breakerClosed: requests flow; consecutive transient failures are
+	// counted.
+	breakerClosed breakerState = iota
+	// breakerOpen: the shard is presumed sick; requests are routed away
+	// until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// let through. Its outcome decides between closed and another open
+	// period.
+	breakerHalfOpen
+)
+
+// String implements fmt.Stringer for the metrics snapshot.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// breaker is a per-shard circuit breaker over transient fault-epoch
+// errors. Only transient outcomes (serve.RejectFaults, admission
+// timeouts against that shard) feed it; client-side rejections
+// (deadlines, cancellations, rate limits) say nothing about shard
+// health and must not trip it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive transient failures that open the circuit
+	cooldown  time.Duration // open-state dwell before the half-open probe
+
+	// state, fails, until, and probing are guarded by mu.
+	state   breakerState
+	fails   int
+	until   time.Time
+	probing bool
+}
+
+// allow reports whether a request may be routed to this shard now. In
+// half-open state at most one caller at a time gets true (the probe);
+// the others are routed away until ok or fail settles the probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// ok records a successful request: any state collapses back to closed.
+func (b *breaker) ok() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// fail records a transient failure. A failed half-open probe reopens
+// immediately; in closed state the circuit opens once the consecutive
+// failure count reaches the threshold.
+func (b *breaker) fail(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.until = now.Add(b.cooldown)
+	}
+}
+
+// snapshot returns the state name for the metrics endpoint.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

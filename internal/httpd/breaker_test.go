@@ -1,0 +1,57 @@
+package httpd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 3, cooldown: time.Second}
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.fail(now)
+	}
+	if !b.allow(now) {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.fail(now) // third consecutive failure: opens
+	if b.allow(now) {
+		t.Fatal("open breaker admitted a request")
+	}
+	if b.snapshot() != "open" {
+		t.Fatalf("state %s, want open", b.snapshot())
+	}
+
+	// Cooldown elapses: exactly one probe goes through.
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.allow(later) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe fails: reopen immediately.
+	b.fail(later)
+	if b.allow(later) {
+		t.Fatal("reopened breaker admitted a request")
+	}
+
+	// Next probe succeeds: closed, failure count reset.
+	again := later.Add(2 * time.Second)
+	if !b.allow(again) {
+		t.Fatal("second probe denied")
+	}
+	b.ok()
+	if b.snapshot() != "closed" {
+		t.Fatalf("state %s after successful probe, want closed", b.snapshot())
+	}
+	b.fail(again)
+	b.fail(again)
+	if !b.allow(again) {
+		t.Fatal("failure count survived the close; breaker opened too early")
+	}
+}

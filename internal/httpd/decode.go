@@ -1,0 +1,158 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Limits bound what a request may ask for. Every bound exists to keep a
+// hostile or confused client from turning the decoder into an allocation
+// amplifier: the JSON is fully parsed before validation, so the byte
+// budget is the primary defence and the count bounds are the second line.
+type Limits struct {
+	// MaxBodyBytes caps the request body read off the wire. <= 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxBuckets caps the buckets (or replica lists) in one query. <= 0 means 4096.
+	MaxBuckets int
+	// MaxReplicas caps the replica list length per bucket. <= 0 means 8.
+	MaxReplicas int
+	// MaxBatch caps the queries in one /v1/submit batch. <= 0 means 256.
+	MaxBatch int
+	// Buckets, when positive, is the exclusive bucket-id bound (the
+	// allocation's bucket count); ids outside [0, Buckets) are rejected.
+	Buckets int
+	// Disks, when positive, is the exclusive disk-id bound for raw
+	// replica lists.
+	Disks int
+	// MaxDeadline caps the per-request deadline budget. <= 0 means 1 minute.
+	MaxDeadline time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	if l.MaxBuckets <= 0 {
+		l.MaxBuckets = 4096
+	}
+	if l.MaxReplicas <= 0 {
+		l.MaxReplicas = 8
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = 256
+	}
+	if l.MaxDeadline <= 0 {
+		l.MaxDeadline = time.Minute
+	}
+	return l
+}
+
+// QueryRequest is the wire form of one retrieval query. Exactly one of
+// Buckets (ids resolved through the server's allocation) or Replicas
+// (pre-resolved global disk ids per bucket) must be set. DeadlineMs,
+// when positive, is the total budget for the request, queueing included;
+// the X-Deadline-Ms header is an alternative carrier, with the body
+// field winning when both are present.
+type QueryRequest struct {
+	Buckets    []int   `json:"buckets,omitempty"`
+	Replicas   [][]int `json:"replicas,omitempty"`
+	DeadlineMs int64   `json:"deadline_ms,omitempty"`
+}
+
+// SubmitRequest is the wire form of a query batch: the items are
+// dispatched to one shard together so the serving worker coalesces them
+// into one admission batch.
+type SubmitRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// DecodeQuery parses and validates one QueryRequest. Any error is a
+// client error (HTTP 400); the decoder never panics on hostile input,
+// which the fuzz harness asserts.
+func DecodeQuery(data []byte, lim Limits) (QueryRequest, error) {
+	lim = lim.withDefaults()
+	var q QueryRequest
+	if err := strictUnmarshal(data, &q); err != nil {
+		return QueryRequest{}, err
+	}
+	if err := q.validate(lim); err != nil {
+		return QueryRequest{}, err
+	}
+	return q, nil
+}
+
+// DecodeSubmit parses and validates a SubmitRequest batch.
+func DecodeSubmit(data []byte, lim Limits) (SubmitRequest, error) {
+	lim = lim.withDefaults()
+	var s SubmitRequest
+	if err := strictUnmarshal(data, &s); err != nil {
+		return SubmitRequest{}, err
+	}
+	if len(s.Queries) == 0 {
+		return SubmitRequest{}, fmt.Errorf("httpd: empty batch")
+	}
+	if len(s.Queries) > lim.MaxBatch {
+		return SubmitRequest{}, fmt.Errorf("httpd: batch of %d queries exceeds the %d limit", len(s.Queries), lim.MaxBatch)
+	}
+	for i := range s.Queries {
+		if err := s.Queries[i].validate(lim); err != nil {
+			return SubmitRequest{}, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing
+// garbage — both almost always indicate a client speaking a different
+// schema version, which should fail loudly rather than half-work.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpd: bad request body: %w", err)
+	}
+	var trailing any
+	if dec.Decode(&trailing) != nil {
+		return nil // io.EOF: exactly one JSON value, as required
+	}
+	return fmt.Errorf("httpd: trailing data after request body")
+}
+
+func (q *QueryRequest) validate(lim Limits) error {
+	switch {
+	case len(q.Buckets) == 0 && len(q.Replicas) == 0:
+		return fmt.Errorf("httpd: query needs buckets or replicas")
+	case len(q.Buckets) > 0 && len(q.Replicas) > 0:
+		return fmt.Errorf("httpd: buckets and replicas are mutually exclusive")
+	}
+	if q.DeadlineMs < 0 {
+		return fmt.Errorf("httpd: negative deadline_ms %d", q.DeadlineMs)
+	}
+	if maxMs := lim.MaxDeadline.Milliseconds(); q.DeadlineMs > maxMs {
+		return fmt.Errorf("httpd: deadline_ms %d exceeds the %dms limit", q.DeadlineMs, maxMs)
+	}
+	if len(q.Buckets) > lim.MaxBuckets || len(q.Replicas) > lim.MaxBuckets {
+		return fmt.Errorf("httpd: %d buckets exceeds the %d limit", max(len(q.Buckets), len(q.Replicas)), lim.MaxBuckets)
+	}
+	for _, b := range q.Buckets {
+		if b < 0 || (lim.Buckets > 0 && b >= lim.Buckets) {
+			return fmt.Errorf("httpd: bucket id %d outside [0,%d)", b, lim.Buckets)
+		}
+	}
+	for i, reps := range q.Replicas {
+		if len(reps) == 0 {
+			return fmt.Errorf("httpd: bucket %d has no replicas", i)
+		}
+		if len(reps) > lim.MaxReplicas {
+			return fmt.Errorf("httpd: bucket %d has %d replicas, limit %d", i, len(reps), lim.MaxReplicas)
+		}
+		for _, d := range reps {
+			if d < 0 || (lim.Disks > 0 && d >= lim.Disks) {
+				return fmt.Errorf("httpd: disk id %d outside [0,%d)", d, lim.Disks)
+			}
+		}
+	}
+	return nil
+}

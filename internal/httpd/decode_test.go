@@ -1,0 +1,72 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeQueryValid(t *testing.T) {
+	q, err := DecodeQuery([]byte(`{"buckets":[0,3,5],"deadline_ms":250}`), Limits{Buckets: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Buckets) != 3 || q.DeadlineMs != 250 {
+		t.Fatalf("decoded %+v", q)
+	}
+	q, err = DecodeQuery([]byte(`{"replicas":[[0,7],[3,11]]}`), Limits{Disks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Replicas) != 2 {
+		t.Fatalf("decoded %+v", q)
+	}
+}
+
+func TestDecodeQueryRejects(t *testing.T) {
+	lim := Limits{Buckets: 36, Disks: 12, MaxBuckets: 4, MaxReplicas: 2, MaxDeadline: time.Second}
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed", `{"buckets":`, "bad request body"},
+		{"trailing", `{"buckets":[1]} {"buckets":[2]}`, "trailing data"},
+		{"unknown-field", `{"bucket_ids":[1]}`, "bad request body"},
+		{"empty", `{}`, "needs buckets or replicas"},
+		{"both", `{"buckets":[1],"replicas":[[0]]}`, "mutually exclusive"},
+		{"negative-bucket", `{"buckets":[-1]}`, "outside"},
+		{"bucket-too-big", `{"buckets":[36]}`, "outside"},
+		{"too-many-buckets", `{"buckets":[1,2,3,4,5]}`, "exceeds"},
+		{"negative-deadline", `{"buckets":[1],"deadline_ms":-5}`, "negative deadline_ms"},
+		{"absurd-deadline", `{"buckets":[1],"deadline_ms":86400000}`, "exceeds"},
+		{"negative-disk", `{"replicas":[[-3]]}`, "outside"},
+		{"disk-too-big", `{"replicas":[[12]]}`, "outside"},
+		{"empty-replica-list", `{"replicas":[[]]}`, "no replicas"},
+		{"too-many-replicas", `{"replicas":[[0,1,2]]}`, "limit"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeQuery([]byte(c.body), lim); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeSubmit(t *testing.T) {
+	s, err := DecodeSubmit([]byte(`{"queries":[{"buckets":[1]},{"buckets":[2]}]}`), Limits{Buckets: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != 2 {
+		t.Fatalf("decoded %+v", s)
+	}
+	if _, err := DecodeSubmit([]byte(`{"queries":[]}`), Limits{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := DecodeSubmit([]byte(`{"queries":[{"buckets":[1]},{"buckets":[-1]}]}`), Limits{}); err == nil ||
+		!strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("bad item not attributed: %v", err)
+	}
+	lim := Limits{MaxBatch: 2}
+	if _, err := DecodeSubmit([]byte(`{"queries":[{"buckets":[1]},{"buckets":[1]},{"buckets":[1]}]}`), lim); err == nil {
+		t.Fatal("over-limit batch accepted")
+	}
+}

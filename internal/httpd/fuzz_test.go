@@ -1,0 +1,72 @@
+package httpd
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzLimits mirror a small production configuration: the 36-bucket /
+// 12-disk paper grid with tight count bounds so the fuzzer spends its
+// budget on structure, not on huge arrays.
+var fuzzLimits = Limits{Buckets: 36, Disks: 12, MaxBuckets: 64, MaxReplicas: 4, MaxBatch: 16, MaxDeadline: time.Minute}
+
+// FuzzDecodeQuery feeds arbitrary bytes to the request decoder: it must
+// never panic, and anything it accepts must satisfy every validation
+// invariant (exactly one query form, ids in range, sane deadline). Run
+// `go test -fuzz=FuzzDecodeQuery ./internal/httpd` to explore beyond
+// the seed corpus.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add(`{"buckets":[0,1,35]}`)
+	f.Add(`{"replicas":[[0,6],[11]]}`)
+	f.Add(`{"buckets":[3],"deadline_ms":250}`)
+	f.Add(`{"buckets":[-1]}`)
+	f.Add(`{"buckets":[1],"deadline_ms":-9223372036854775808}`)
+	f.Add(`{"buckets":[1],"deadline_ms":9223372036854775807}`)
+	f.Add(`{"replicas":[[]]}`)
+	f.Add(`garbage`)
+	f.Add(`{"buckets":[1]} trailing`)
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := DecodeQuery([]byte(input), fuzzLimits)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if (len(q.Buckets) == 0) == (len(q.Replicas) == 0) {
+			t.Fatalf("accepted query violates the one-form invariant: %+v", q)
+		}
+		if q.DeadlineMs < 0 || q.DeadlineMs > fuzzLimits.MaxDeadline.Milliseconds() {
+			t.Fatalf("accepted deadline out of range: %d", q.DeadlineMs)
+		}
+		for _, b := range q.Buckets {
+			if b < 0 || b >= fuzzLimits.Buckets {
+				t.Fatalf("accepted bucket id out of range: %d", b)
+			}
+		}
+		for _, reps := range q.Replicas {
+			if len(reps) == 0 || len(reps) > fuzzLimits.MaxReplicas {
+				t.Fatalf("accepted replica list of bad length: %v", reps)
+			}
+			for _, d := range reps {
+				if d < 0 || d >= fuzzLimits.Disks {
+					t.Fatalf("accepted disk id out of range: %d", d)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeSubmit covers the batch envelope the same way.
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add(`{"queries":[{"buckets":[1]}]}`)
+	f.Add(`{"queries":[]}`)
+	f.Add(`{"queries":[{"buckets":[1]},{"replicas":[[0]]}]}`)
+	f.Add(`{"queries":null}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := DecodeSubmit([]byte(input), fuzzLimits)
+		if err != nil {
+			return
+		}
+		if len(s.Queries) == 0 || len(s.Queries) > fuzzLimits.MaxBatch {
+			t.Fatalf("accepted batch of bad size: %d", len(s.Queries))
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package httpd is the network-facing retrieval front end: an HTTP layer
+// over internal/serve built to degrade gracefully rather than fall over.
+// Requests are decoded, rate-limited per client, admitted through a
+// bounded overload controller (shedding by policy once the window,
+// queue depths, or observed p99 cross their thresholds), translated
+// into serve.Query admissions with the client's deadline and
+// cancellation propagated, retried with jittered backoff behind
+// per-shard circuit breakers when the fault layer reports transient
+// trouble, and answered with explicit backpressure statuses (429/503 +
+// Retry-After) instead of unbounded queueing. /healthz, /readyz, and
+// /metrics expose liveness, drain state, and the full degradation
+// counter set.
+package httpd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"imflow/internal/decluster"
+	"imflow/internal/serve"
+	"imflow/internal/storage"
+	"imflow/internal/xrand"
+)
+
+// Options configure the front end. The zero value serves with the
+// defaults noted per field.
+type Options struct {
+	// Serve configures the underlying shard servers. Deterministic mode
+	// is rejected: an online front end is inherently wall-clock.
+	Serve serve.Options
+	// MaxInflight bounds the admission window: requests past decode and
+	// rate limiting that have not yet been answered. <= 0 means 256.
+	MaxInflight int
+	// Policy selects the shed behavior at the overload boundary.
+	Policy Policy
+	// ShedQueueDepth, when positive, sheds (by Policy) while the summed
+	// shard queue depth is at or above it, even with window capacity
+	// free. 0 disables the queue-depth trigger.
+	ShedQueueDepth int
+	// ShedP99 sheds (by Policy) while the observed served p99 exceeds
+	// it. 0 disables the latency trigger.
+	ShedP99 time.Duration
+	// RatePerSec and RateBurst configure the per-client token bucket;
+	// RatePerSec <= 0 disables rate limiting. RateBurst < 1 means 1.
+	RatePerSec float64
+	RateBurst  float64
+	// AdmitTimeout bounds how long a dispatch may block on a full shard
+	// queue before answering 429 backpressure. <= 0 means 100ms.
+	AdmitTimeout time.Duration
+	// MaxRetries bounds transient (fault-epoch) resubmissions per
+	// request, beyond the first attempt. <= 0 means 2.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between transient retries. <= 0 means 2ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive transient failure count that
+	// opens a shard's circuit. <= 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell before a half-open probe.
+	// <= 0 means 250ms.
+	BreakerCooldown time.Duration
+	// DefaultDeadline applies to requests that carry no deadline of
+	// their own. 0 means none.
+	DefaultDeadline time.Duration
+	// Limits bound request decoding; the Buckets/Disks id bounds are
+	// filled from the system and allocation when zero.
+	Limits Limits
+	// Seed feeds the backoff jitter. 0 means 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Serve.Deterministic {
+		return o, fmt.Errorf("httpd: deterministic serve mode has no place behind a wall-clock transport")
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.AdmitTimeout <= 0 {
+		o.AdmitTimeout = 100 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	o.Limits = o.Limits.withDefaults()
+	return o, nil
+}
+
+// Server is the HTTP front end. It implements http.Handler; callers own
+// the http.Server/listener around it and call Shutdown for the serve-
+// layer drain after the HTTP listener stops accepting.
+type Server struct {
+	sys   *storage.System
+	alloc *decluster.Allocation // nil when only raw replica queries are accepted
+	opt   Options
+
+	srv  *serve.Server
+	mux  *http.ServeMux
+	adm  *admitter
+	rl   *rateLimiter
+	met  *metrics
+	brks []*breaker
+
+	// seqFree recycles serve sequence slots. Sized 2x the admission
+	// window so abandoned requests (client gone, result still in the
+	// queue) can linger with their reaper goroutines without starving
+	// fresh admissions.
+	seqFree chan int
+	// waiters[seq] carries the terminal serve.Result to the dispatching
+	// handler; buffered 1 and drained before a seq is reused.
+	waiters []chan serve.Result
+
+	// stopped is closed when the serve layer fails or a forced shutdown
+	// abandons the drain; every blocked handler and reaper selects on it.
+	stopped   chan struct{}
+	stopOnce  sync.Once
+	draining  chan struct{} // closed by Shutdown: readyz flips, new work is refused
+	drainOnce sync.Once
+	// reqMu orders the draining flip against handlers joining inflight:
+	// beginRequest holds it shared, Shutdown's flip holds it exclusive.
+	reqMu sync.RWMutex
+	bgCancel  context.CancelFunc
+	inflight  sync.WaitGroup
+
+	rngMu sync.Mutex
+	// rng feeds backoff jitter; guarded by rngMu.
+	rng *xrand.Source
+}
+
+// New builds the front end over one storage system. alloc, when
+// non-nil, lets clients query by bucket id; without it only raw replica
+// queries validate. The server starts serving as soon as the returned
+// handler is mounted.
+func New(sys *storage.System, alloc *decluster.Allocation, opt Options) (*Server, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Limits.Disks <= 0 {
+		opt.Limits.Disks = sys.NumDisks()
+	}
+	if opt.Limits.Buckets <= 0 && alloc != nil {
+		opt.Limits.Buckets = alloc.Grid.Buckets()
+	}
+
+	total := 2 * opt.MaxInflight
+	s := &Server{
+		sys:      sys,
+		alloc:    alloc,
+		opt:      opt,
+		adm:      newAdmitter(opt.MaxInflight, opt.Policy),
+		rl:       newRateLimiter(opt.RatePerSec, opt.RateBurst),
+		met:      newMetrics(time.Now()),
+		seqFree:  make(chan int, total),
+		waiters:  make([]chan serve.Result, total),
+		stopped:  make(chan struct{}),
+		draining: make(chan struct{}),
+		rng:      xrand.New(opt.Seed),
+	}
+	for seq := 0; seq < total; seq++ {
+		s.seqFree <- seq
+		s.waiters[seq] = make(chan serve.Result, 1)
+	}
+
+	sopt := opt.Serve
+	sopt.OnResult = s.onResult
+	srv, err := serve.New(sys, total, sopt)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	for i := 0; i < srv.Workers(); i++ {
+		s.brks = append(s.brks, &breaker{threshold: opt.BreakerThreshold, cooldown: opt.BreakerCooldown})
+	}
+
+	bg, cancel := context.WithCancel(context.Background())
+	s.bgCancel = cancel
+	srv.Start(bg)
+	go s.watchFailure()
+	s.mux = s.routes()
+	return s, nil
+}
+
+// onResult is the serve completion hook: it forwards the terminal
+// result to the waiting handler (or its reaper). The channel is
+// buffered and drained before seq reuse, so the send never blocks the
+// worker; the default arm is pure defence against a protocol bug.
+func (s *Server) onResult(r serve.Result) {
+	select {
+	case s.waiters[r.Seq] <- r:
+	default:
+	}
+}
+
+// watchFailure trips the stop switch if the serve layer enters drain
+// mode on its own (worker error): queries already admitted may never
+// produce callbacks past that point, so blocked handlers must be
+// released.
+func (s *Server) watchFailure() {
+	select {
+	case <-s.srv.Failed():
+		s.stop()
+	case <-s.stopped:
+	}
+}
+
+// stop releases every blocked handler and reaper; idempotent.
+func (s *Server) stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// FaultServer exposes the underlying serve.Server's manual fault
+// injection (FailDisk/RecoverDisk) for operational tooling and tests.
+func (s *Server) FaultServer() *serve.Server { return s.srv }
+
+// Shutdown drains the front end: readiness flips immediately, new
+// requests are refused with 503, and in-flight requests are given until
+// ctx expires to finish. On a clean drain the serve layer is waited out
+// fully; on ctx expiry the remaining work is abandoned (the serve layer
+// flips to drain-only mode) before waiting. Call after the HTTP
+// listener has stopped accepting (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		// The write lock orders the flip against every handler's
+		// beginRequest: after this, no new request can join inflight.
+		s.reqMu.Lock()
+		close(s.draining)
+		s.reqMu.Unlock()
+	})
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var abandoned error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		abandoned = fmt.Errorf("httpd: shutdown abandoned in-flight requests: %w", context.Cause(ctx))
+		s.bgCancel() // serve flips to drain-only, releasing submitters
+		s.stop()     // release blocked handlers and reapers
+		<-done
+	}
+	s.stop() // release reapers so every slot returns
+	_, err := s.srv.Wait()
+	s.bgCancel()
+	if abandoned != nil {
+		return abandoned
+	}
+	return err
+}
+
+// beginRequest registers an in-flight request, refusing once draining
+// has begun; endRequest is the paired release.
+func (s *Server) beginRequest() bool {
+	s.reqMu.RLock()
+	defer s.reqMu.RUnlock()
+	if s.isDraining() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endRequest() { s.inflight.Done() }
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// jitteredBackoff is the attempt'th (1-based) transient retry delay:
+// exponential base with a uniform [0.5, 1.5) jitter factor.
+func (s *Server) jitteredBackoff(attempt int) time.Duration {
+	base := s.opt.RetryBackoff << (attempt - 1)
+	s.rngMu.Lock()
+	f := 0.5 + s.rng.Float64()
+	s.rngMu.Unlock()
+	return time.Duration(float64(base) * f)
+}
+
+// pickShard chooses a shard whose breaker admits traffic, round-robin
+// from a seeded start. Returns -1 when every circuit is open.
+func (s *Server) pickShard(now time.Time) int {
+	n := len(s.brks)
+	s.rngMu.Lock()
+	start := s.rng.Intn(n)
+	s.rngMu.Unlock()
+	for i := 0; i < n; i++ {
+		shard := (start + i) % n
+		if s.brks[shard].allow(now) {
+			return shard
+		}
+	}
+	return -1
+}

@@ -1,0 +1,85 @@
+package httpd
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiterMaxClients bounds the per-client bucket table so an
+// attacker rotating client ids cannot grow it without bound. When full,
+// the stalest bucket (the one refilled longest ago) is evicted — it is
+// by construction the closest to full, so the evicted client loses
+// nothing but its partial debt.
+const rateLimiterMaxClients = 4096
+
+// tokenBucket is one client's refill state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a classic token-bucket limiter keyed by client id.
+// rate <= 0 disables it entirely.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu sync.Mutex
+	// buckets is guarded by mu.
+	buckets map[string]*tokenBucket
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token from client's bucket, reporting whether the
+// request may proceed and, when it may not, how long until a token is
+// available (the Retry-After hint).
+func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[client]
+	if b == nil {
+		if len(rl.buckets) >= rateLimiterMaxClients {
+			rl.evictStalest()
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / rl.rate * float64(time.Second))
+}
+
+// evictStalest drops the bucket with the oldest refill stamp; called
+// with mu held.
+//
+//imflow:locked(mu)
+func (rl *rateLimiter) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, b := range rl.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = id, b.last, false
+		}
+	}
+	delete(rl.buckets, victim)
+}

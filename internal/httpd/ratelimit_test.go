@@ -1,0 +1,56 @@
+package httpd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	now := time.Unix(2000, 0)
+	rl := newRateLimiter(10, 3) // 10 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("a", now); !ok {
+			t.Fatalf("request %d inside the burst denied", i)
+		}
+	}
+	ok, retry := rl.allow("a", now)
+	if ok {
+		t.Fatal("request past the burst admitted")
+	}
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~100ms", retry)
+	}
+	// 100ms refills one token.
+	if ok, _ := rl.allow("a", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	// Other clients are independent.
+	if ok, _ := rl.allow("b", now); !ok {
+		t.Fatal("fresh client denied")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	rl := newRateLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := rl.allow("a", time.Unix(0, 0)); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}
+
+func TestRateLimiterBoundedClients(t *testing.T) {
+	rl := newRateLimiter(1, 1)
+	now := time.Unix(3000, 0)
+	for i := 0; i < rateLimiterMaxClients+100; i++ {
+		rl.allow(fmt.Sprintf("client-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > rateLimiterMaxClients {
+		t.Fatalf("bucket table grew to %d, bound is %d", n, rateLimiterMaxClients)
+	}
+}

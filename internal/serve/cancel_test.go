@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitRejectsExpiredDeadline pins the admission-side deadline gate:
+// a query whose Deadline is already negative (the upstream budget spent
+// before it reached us) must be rejected by Submit itself, not enqueued
+// to burn a batch slot at pickup.
+func TestSubmitRejectsExpiredDeadline(t *testing.T) {
+	sys, stream := testStream(t, 2, 19)
+	s, err := New(sys, len(stream), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+
+	expired := Query{Seq: 0, Arrival: stream[0].Arrival, Replicas: stream[0].Replicas, Deadline: -time.Millisecond}
+	if err := s.Submit(context.Background(), expired); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Submit with negative deadline: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := s.FaultStats().Rejected; got != 1 {
+		t.Fatalf("Rejected counter after admission-side rejection = %d, want 1", got)
+	}
+
+	live := Query{Seq: 1, Arrival: stream[1].Arrival, Replicas: stream[1].Replicas}
+	if err := s.Submit(context.Background(), live); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Worker != 0 || results[0].ResponseTime != 0 || results[0].Rejected {
+		t.Fatalf("rejected-at-Submit query left a non-zero result slot: %+v", results[0])
+	}
+	if results[1].ResponseTime <= 0 {
+		t.Fatalf("live query not served: %+v", results[1])
+	}
+}
+
+// TestCancelRejectedAtPickup covers the propagated-context path: a query
+// whose Ctx is done by the time a worker dequeues it must be rejected
+// with RejectCanceled (never solved), counted in FaultStats.Canceled,
+// and still produce exactly one OnResult callback so the submitter's
+// waiter is released.
+func TestCancelRejectedAtPickup(t *testing.T) {
+	sys, stream := testStream(t, 1, 23)
+
+	var calls atomic.Int64
+	var got atomic.Value
+	opt := Options{
+		Workers: 1,
+		OnResult: func(r Result) {
+			calls.Add(1)
+			got.Store(r)
+		},
+	}
+	s, err := New(sys, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // done before admission: the worker must observe it at pickup
+	q := Query{Seq: 0, Arrival: stream[0].Arrival, Replicas: stream[0].Replicas, Ctx: ctx}
+	if err := s.Submit(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.Rejected || r.Reason != RejectCanceled {
+		t.Fatalf("canceled query: got %+v, want Rejected with RejectCanceled", r)
+	}
+	if r.ResponseTime != 0 {
+		t.Fatalf("canceled query was solved anyway: %+v", r)
+	}
+	if got := s.FaultStats().Canceled; got != 1 {
+		t.Fatalf("Canceled counter = %d, want 1", got)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("OnResult fired %d times, want 1", n)
+	}
+	if hr, _ := got.Load().(Result); hr.Seq != 0 || hr.Reason != RejectCanceled {
+		t.Fatalf("OnResult saw %+v, want the RejectCanceled terminal result", got.Load())
+	}
+}
+
+// TestOnResultExactlyOnce serves a full stream concurrently and checks the
+// hook contract: one callback per admitted query, carrying the same
+// terminal result Wait later returns.
+func TestOnResultExactlyOnce(t *testing.T) {
+	sys, stream := testStream(t, 60, 29)
+	qs := toServeQueries(stream)
+
+	calls := make([]atomic.Int64, len(qs))
+	opt := Options{
+		Workers: 4,
+		Batch:   4,
+		OnResult: func(r Result) {
+			calls[r.Seq].Add(1)
+		},
+	}
+	results, err := Serve(context.Background(), sys, qs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("query %d: OnResult fired %d times, want 1", i, n)
+		}
+		if results[i].Rejected || results[i].ResponseTime <= 0 {
+			t.Fatalf("query %d: unexpected terminal result %+v", i, results[i])
+		}
+	}
+}
+
+// TestSubmitCancelShutdownStress races submitters, mid-flight
+// cancellations, and shutdown under -race: every admitted query must
+// reach exactly one terminal state (served or rejected-canceled), with
+// no slot lost and no double callback, whichever side of the pickup the
+// cancellation lands on.
+func TestSubmitCancelShutdownStress(t *testing.T) {
+	const total = 256
+	sys, stream := testStream(t, total, 31)
+
+	calls := make([]atomic.Int64, total)
+	opt := Options{
+		Workers:    4,
+		Batch:      8,
+		QueueDepth: 8,
+		OnResult: func(r Result) {
+			calls[r.Seq].Add(1)
+		},
+	}
+	s, err := New(sys, total, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+
+	submitted := make([]atomic.Bool, total)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 97))
+			for seq := g; seq < total; seq += 8 {
+				ctx, cancel := context.WithCancel(context.Background())
+				q := Query{Seq: seq, Arrival: stream[seq].Arrival, Replicas: stream[seq].Replicas, Ctx: ctx}
+				switch rng.IntN(3) {
+				case 0:
+					cancel() // canceled before admission
+				case 1:
+					// Canceled concurrently with pickup: either outcome
+					// (served or RejectCanceled) is legal, losing the
+					// slot is not.
+					defer cancel()
+					go cancel()
+				default:
+					defer cancel()
+				}
+				if err := s.Submit(context.Background(), q); err != nil {
+					t.Errorf("submit %d: %v", seq, err)
+					return
+				}
+				submitted[seq].Store(true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	results, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var served, canceled int64
+	for seq := 0; seq < total; seq++ {
+		if !submitted[seq].Load() {
+			continue
+		}
+		if n := calls[seq].Load(); n != 1 {
+			t.Fatalf("query %d: OnResult fired %d times, want 1", seq, n)
+		}
+		r := results[seq]
+		switch {
+		case r.Rejected && r.Reason == RejectCanceled:
+			canceled++
+		case !r.Rejected && r.ResponseTime > 0:
+			served++
+		default:
+			t.Fatalf("query %d: not a legal terminal state: %+v", seq, r)
+		}
+	}
+	if served+canceled != total {
+		t.Fatalf("accounted for %d of %d queries (served %d, canceled %d)", served+canceled, total, served, canceled)
+	}
+	if got := s.FaultStats().Canceled; got != canceled {
+		t.Fatalf("Canceled counter = %d, results show %d", got, canceled)
+	}
+}

@@ -57,13 +57,55 @@ type Query struct {
 	// Deadline, when positive, bounds the time from Submit to being
 	// served: Submit fails with ErrDeadlineExceeded instead of blocking
 	// past it on a full queue, and a worker that dequeues the query too
-	// late rejects it (Result.Rejected) instead of serving it. In the
-	// concurrent mode both bounds are wall-clock; in deterministic mode
-	// the age is model time (the serving clock minus Arrival), so replay
-	// stays bit-identical to sim regardless of wall-clock scheduling.
+	// late rejects it (Result.Rejected) instead of serving it. A negative
+	// Deadline means the budget was already spent before admission (a
+	// propagated deadline that expired upstream): Submit rejects it
+	// outright with ErrDeadlineExceeded instead of burning a batch slot
+	// on dead work. In the concurrent mode the bounds are wall-clock; in
+	// deterministic mode the age is model time (the serving clock minus
+	// Arrival), so replay stays bit-identical to sim regardless of
+	// wall-clock scheduling.
 	Deadline time.Duration
+	// Ctx, when non-nil, propagates the submitting client's cancellation
+	// into the queue: a worker that dequeues a query whose Ctx is already
+	// done rejects it (Result.Rejected, RejectCanceled) instead of
+	// solving for a caller that has gone away. Concurrent mode only; the
+	// deterministic mode ignores it (a wall-clock cancellation check
+	// would make replay scheduling-dependent).
+	Ctx context.Context
 
 	submitted time.Time // stamped by Submit for the wall-clock latency
+}
+
+// RejectReason classifies why a query was rejected (Result.Rejected).
+type RejectReason uint8
+
+const (
+	// RejectNone: the query was served.
+	RejectNone RejectReason = iota
+	// RejectDeadline: the Deadline elapsed while the query sat in the
+	// queue (wall clock online, model clock in deterministic mode).
+	RejectDeadline
+	// RejectCanceled: the query's Ctx was canceled before pickup.
+	RejectCanceled
+	// RejectFaults: every bounded mid-solve failure repair was exhausted
+	// — a transient condition worth retrying once the fault epoch calms.
+	RejectFaults
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "none"
+	case RejectDeadline:
+		return "deadline"
+	case RejectCanceled:
+		return "canceled"
+	case RejectFaults:
+		return "faults"
+	}
+	return fmt.Sprintf("RejectReason(%d)", uint8(r))
 }
 
 // Result is the outcome of one served query. Schedules are not retained:
@@ -85,9 +127,12 @@ type Result struct {
 	// applied: queueing plus batching plus the solve itself.
 	Latency time.Duration
 	// Rejected marks a query that was never served: its deadline passed
-	// in the queue, or every bounded retry after mid-solve failures was
-	// exhausted. Response fields are zero.
+	// in the queue, its context was canceled before pickup, or every
+	// bounded retry after mid-solve failures was exhausted. Response
+	// fields are zero; Reason says which of the three it was.
 	Rejected bool
+	// Reason classifies a rejection; RejectNone on served queries.
+	Reason RejectReason
 	// Dropped counts buckets this query could not retrieve because every
 	// replica was on a failed disk (partial retrieval). The full dead
 	// set is observable through OnSchedule: dropped buckets have
@@ -143,6 +188,18 @@ type Options struct {
 	// have Assignment -1, which is how per-bucket graceful-degradation
 	// metrics are observed before the buffers are recycled.
 	OnSchedule func(worker int, q *Query, p *retrieval.Problem, s *retrieval.Schedule)
+	// OnResult, when non-nil, is invoked synchronously by the serving
+	// worker after every terminal outcome — served, deadline-rejected,
+	// canceled, or retry-exhausted — right after the result is recorded.
+	// It is the completion signal a front end builds request/response
+	// plumbing on: exactly one call per admitted query, from the worker
+	// goroutine, so implementations must be fast, must tolerate
+	// concurrent calls, and must not call back into the Server. Queries
+	// drained unserved after a server-level failure get no callback;
+	// watch Failed for that edge. Submit-time rejections (expired
+	// deadline, cancellation while blocked on a full queue) report
+	// through Submit's error instead.
+	OnResult func(r Result)
 	// Fault installs a chaos schedule (fault.Spec.Generate or a scripted
 	// fault.Schedule) replayed against the serving clock: model
 	// microseconds since Start in the online mode, query arrivals in
@@ -179,6 +236,7 @@ type FaultStats struct {
 	Failovers       int64 // in-place MarkFailed repairs after mid-solve failures
 	Retries         int64 // bounce-repair rounds (each backs off before repairing)
 	Rejected        int64 // queries rejected: deadline passed or retries exhausted
+	Canceled        int64 // queries whose Ctx was canceled before pickup
 }
 
 // withDefaults normalizes the options.
@@ -250,9 +308,15 @@ type Server struct {
 	started bool
 	waited  bool
 	stop    chan struct{} // closed by Wait; releases the cancel watcher
+	// watcherDone, non-nil when Start installed a cancel watcher, is
+	// closed when that watcher exits; Wait joins it before reading err.
+	watcherDone chan struct{}
 
-	failed  atomic.Bool
-	errOnce sync.Once
+	failed atomic.Bool
+	// failedCh is closed (once) when the server enters drain mode after a
+	// worker error or cancellation; see Failed.
+	failedCh chan struct{}
+	errOnce  sync.Once
 	// err is the first worker error; guarded by errOnce (written only
 	// inside errOnce.Do, read only after wg.Wait).
 	err error
@@ -277,6 +341,7 @@ type Server struct {
 	nFailovers atomic.Int64
 	nRetries   atomic.Int64
 	nRejected  atomic.Int64
+	nCanceled  atomic.Int64
 
 	// Solve-path counters (see SolveStats).
 	nSolves      atomic.Int64
@@ -318,6 +383,7 @@ func (s *Server) FaultStats() FaultStats {
 		Failovers:       s.nFailovers.Load(),
 		Retries:         s.nRetries.Load(),
 		Rejected:        s.nRejected.Load(),
+		Canceled:        s.nCanceled.Load(),
 	}
 }
 
@@ -418,6 +484,7 @@ func New(sys *storage.System, total int, opt Options) (*Server, error) {
 		slow:      slow,
 		fstate:    fstate,
 		stop:      make(chan struct{}),
+		failedCh:  make(chan struct{}),
 	}
 	if fstate != nil {
 		s.faultOn.Store(true)
@@ -456,7 +523,9 @@ func (s *Server) Start(ctx context.Context) {
 		ctx = context.Background()
 	}
 	if ctx.Done() != nil {
+		s.watcherDone = make(chan struct{})
 		go func() {
+			defer close(s.watcherDone)
 			select {
 			case <-ctx.Done():
 				s.fail(fmt.Errorf("serve: cancelled: %w", context.Cause(ctx)))
@@ -506,6 +575,13 @@ func (s *Server) SubmitTo(ctx context.Context, shard int, q Query) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A negative deadline is a budget that expired before admission (the
+	// upstream deadline propagated here already spent): reject now rather
+	// than burn a batch slot on work nobody can use.
+	if q.Deadline < 0 {
+		s.nRejected.Add(1)
+		return fmt.Errorf("serve: query %d: expired before admission: %w", q.Seq, ErrDeadlineExceeded)
+	}
 	q.submitted = time.Now()
 	// Deterministic mode evaluates deadlines against the model clock at
 	// serve time (rejectLateAt); a wall-clock admission timer here would
@@ -548,15 +624,43 @@ func (s *Server) Wait() ([]Result, error) {
 	}
 	s.wg.Wait()
 	close(s.stop)
-	//lint:ignore lockguard wg.Wait above establishes happens-before with every errOnce.Do writer
+	if s.watcherDone != nil {
+		// The cancel watcher may be mid-fail when a cancellation races
+		// Wait; joining it orders its errOnce.Do before the read below.
+		<-s.watcherDone
+	}
+	//lint:ignore lockguard wg.Wait and the watcher join above establish happens-before with every errOnce.Do writer
 	return s.results, s.err
 }
 
 // fail records the first worker error and flips every worker into
 // drain-only mode.
 func (s *Server) fail(err error) {
-	s.errOnce.Do(func() { s.err = err })
+	s.errOnce.Do(func() {
+		s.err = err
+		close(s.failedCh)
+	})
 	s.failed.Store(true)
+}
+
+// Failed returns a channel closed when the server enters drain mode (a
+// worker error or a Start-context cancellation): queries already admitted
+// may be drained unserved from that point, so callers waiting on
+// Options.OnResult callbacks must also select on this channel. Wait
+// reports the cause.
+func (s *Server) Failed() <-chan struct{} { return s.failedCh }
+
+// QueueDepths appends the current per-shard admission queue depths to
+// into (pass nil, or a reused buffer, which is truncated first) and
+// returns it. The depths are instantaneous — workers drain concurrently —
+// and are meant for overload controllers and metrics, not for exact
+// accounting.
+func (s *Server) QueueDepths(into []int) []int {
+	into = into[:0]
+	for _, q := range s.queues {
+		into = append(into, len(q))
+	}
+	return into
 }
 
 // Serve is the one-shot convenience: start a server over sys, admit the

@@ -23,6 +23,41 @@ func sinceSubmit(q *Query) time.Duration {
 	return time.Since(q.submitted)
 }
 
+// record is the single terminal-outcome sink: it writes the query's slot
+// in the results array and fires the Options.OnResult hook. Every path
+// that finishes a query — served, deadline-rejected, canceled, or
+// retry-exhausted — must go through it exactly once.
+//
+//imflow:noalloc
+func (w *worker) record(r Result) {
+	w.srv.results[r.Seq] = r
+	if w.srv.opt.OnResult != nil {
+		w.srv.opt.OnResult(r)
+	}
+}
+
+// rejectCanceled rejects a query whose propagated context was canceled
+// while it sat in the shard queue: the submitter has gone away, so
+// solving would burn a batch slot on an answer nobody reads. Concurrent
+// paths only — the deterministic mode ignores Query.Ctx, because a
+// wall-clock cancellation check would make replay scheduling-dependent.
+//
+//imflow:detsafe cancellation is an external wall-clock event; canceled queries are recorded, never served, so pool width cannot change any served response
+//imflow:noalloc
+func (w *worker) rejectCanceled(q *Query) bool {
+	if q.Ctx == nil {
+		return false
+	}
+	select {
+	case <-q.Ctx.Done():
+	default:
+		return false
+	}
+	w.srv.nCanceled.Add(1)
+	w.record(Result{Seq: q.Seq, Worker: w.id, Rejected: true, Reason: RejectCanceled, Latency: sinceSubmit(q)})
+	return true
+}
+
 // worker serves one shard. Every buffer below is pinned to the worker for
 // the server's whole lifetime: after the backing arrays converge to the
 // workload's peak shape, a served query performs no heap allocations
@@ -224,14 +259,14 @@ func (w *worker) serveDeterministic(batch []Query) error {
 		if s.opt.OnSchedule != nil {
 			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
 		}
-		s.results[q.Seq] = Result{
+		w.record(Result{
 			Seq:          q.Seq,
 			Worker:       w.id,
 			ResponseTime: worst,
 			Finish:       cost.SatAdd(q.Arrival, worst),
 			Latency:      sinceSubmit(q),
 			Dropped:      dropped,
-		}
+		})
 	}
 	return nil
 }
@@ -270,7 +305,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 	w.buildDiskTable(w.local, now)
 	for i := range batch {
 		q := &batch[i]
-		if w.rejectLate(q) {
+		if w.rejectCanceled(q) || w.rejectLate(q) {
 			continue
 		}
 		if w.tableStale {
@@ -301,7 +336,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 		if s.opt.OnSchedule != nil {
 			s.opt.OnSchedule(w.id, q, &w.prob, w.res.Schedule)
 		}
-		s.results[q.Seq] = Result{
+		w.record(Result{
 			Seq:          q.Seq,
 			Worker:       w.id,
 			ResponseTime: worst,
@@ -309,7 +344,7 @@ func (w *worker) serveConcurrent(batch []Query) error {
 			Latency:      sinceSubmit(q),
 			Dropped:      dropped,
 			Failovers:    failovers,
-		}
+		})
 		// Only now fold the served load into the shared table: the next
 		// query must see it, but OnSchedule above validates the schedule
 		// against the problem it was solved from.
@@ -368,7 +403,8 @@ func (w *worker) serveBatchPool(batch []Query) error {
 	// sees solvable work.
 	todo := w.todo[:0]
 	for i := range batch {
-		if !w.rejectLate(&batch[i]) {
+		q := &batch[i]
+		if !w.rejectCanceled(q) && !w.rejectLate(q) {
 			todo = append(todo, i)
 		}
 	}
@@ -430,14 +466,14 @@ func (w *worker) serveBatchPool(batch []Query) error {
 			w.prob.Replicas = q.Replicas
 			s.opt.OnSchedule(w.id, q, &w.prob, slot.res.Schedule)
 		}
-		s.results[q.Seq] = Result{
+		w.record(Result{
 			Seq:          q.Seq,
 			Worker:       w.id,
 			ResponseTime: worst,
 			Finish:       cost.SatAdd(now, worst),
 			Latency:      sinceSubmit(q),
 			Dropped:      slot.dropped,
-		}
+		})
 	}
 	s.mu.Lock()
 	for j, k := range w.added {
@@ -463,7 +499,7 @@ func (w *worker) rejectLate(q *Query) bool {
 		return false
 	}
 	w.srv.nRejected.Add(1)
-	w.srv.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+	w.record(Result{Seq: q.Seq, Worker: w.id, Rejected: true, Reason: RejectDeadline, Latency: sinceSubmit(q)})
 	return true
 }
 
@@ -484,7 +520,7 @@ func (w *worker) rejectLateAt(q *Query, clock cost.Micros) bool {
 		return false
 	}
 	w.srv.nRejected.Add(1)
-	w.srv.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+	w.record(Result{Seq: q.Seq, Worker: w.id, Rejected: true, Reason: RejectDeadline, Latency: sinceSubmit(q)})
 	return true
 }
 
@@ -646,7 +682,7 @@ func (w *worker) solveFaulty(q *Query, now cost.Micros, dropped, failovers *int)
 		}
 		if attempt >= s.opt.MaxRetries {
 			s.nRejected.Add(1)
-			s.results[q.Seq] = Result{Seq: q.Seq, Worker: w.id, Rejected: true, Latency: sinceSubmit(q)}
+			w.record(Result{Seq: q.Seq, Worker: w.id, Rejected: true, Reason: RejectFaults, Latency: sinceSubmit(q)})
 			return false, nil
 		}
 		attempt++
