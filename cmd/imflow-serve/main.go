@@ -42,7 +42,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission window (default 256)")
 	shedQueue := flag.Int("shed-queue", 0, "summed queue depth that triggers shedding (0 disables)")
 	shedP99 := flag.Duration("shed-p99", 0, "served p99 that triggers shedding (0 disables)")
-	rate := flag.Float64("rate", 0, "per-client token-bucket rate in requests/sec (0 disables)")
+	rate := flag.Float64("rate", 0, "per-client token-bucket rate in queries/sec (batch items each cost a token; 0 disables)")
 	burst := flag.Float64("burst", 0, "per-client token-bucket burst (default 1)")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none (0 means none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")

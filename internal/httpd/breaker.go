@@ -76,6 +76,29 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
+// abandon releases a probe reservation whose request reached a terminal
+// outcome that says nothing about shard health — client deadline or
+// cancellation, eviction, server stop. The state is untouched (a
+// half-open breaker stays half-open); only the probe slot frees, so the
+// next allow hands the probe to a fresh request. Without this, a probe
+// ending on any such path would leave probing set forever and the shard
+// permanently excluded from routing.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// closed reports whether the breaker is in the closed state, without
+// consuming a half-open probe slot or transitioning an elapsed open
+// state. The batch endpoint pins through this: a recovering shard must
+// see a single probe, never a whole batch at once.
+func (b *breaker) closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
 // ok records a successful request: any state collapses back to closed.
 func (b *breaker) ok() {
 	b.mu.Lock()

@@ -55,3 +55,55 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatal("failure count survived the close; breaker opened too early")
 	}
 }
+
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	now := time.Unix(1500, 0)
+	b := &breaker{threshold: 1, cooldown: time.Second}
+	b.fail(now) // opens immediately
+
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.allow(later) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// The probe ends without a health verdict (client deadline, cancel,
+	// server stop): the reservation must free, the state must hold.
+	b.abandon()
+	if b.snapshot() != "half-open" {
+		t.Fatalf("state %s after abandon, want half-open", b.snapshot())
+	}
+	if !b.allow(later) {
+		t.Fatal("probe slot leaked: abandoned reservation still held")
+	}
+	// The fresh probe still carries a real verdict.
+	b.fail(later)
+	if b.allow(later) {
+		t.Fatal("reopened breaker admitted a request")
+	}
+	// abandon on a closed breaker is a harmless no-op.
+	b.ok()
+	b.abandon()
+	if !b.allow(later) {
+		t.Fatal("closed breaker denied after abandon")
+	}
+}
+
+func TestBreakerClosedIsPassive(t *testing.T) {
+	now := time.Unix(1600, 0)
+	b := &breaker{threshold: 1, cooldown: time.Second}
+	if !b.closed() {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.fail(now)
+	// Cooldown elapsed: allow would grant a half-open probe, but closed
+	// must neither report true nor consume the probe slot.
+	later := now.Add(2 * time.Second)
+	if b.closed() {
+		t.Fatal("open breaker with elapsed cooldown reported closed")
+	}
+	if !b.allow(later) {
+		t.Fatal("closed() consumed the probe slot")
+	}
+}

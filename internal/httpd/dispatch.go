@@ -125,11 +125,19 @@ func (s *Server) dispatchShard(rctx context.Context, qr QueryRequest, pinned int
 
 // attempt is the submit/wait/retry loop over one acquired sequence
 // slot. pinned, when >= 0, fixes the first attempt's shard (the batch
-// endpoint pins a whole SubmitRequest to one shard so the serving
-// worker coalesces it into one admission batch); retries fall back to
-// breaker-aware selection. It never blocks indefinitely: every wait
-// selects on qctx and the stop switch, and abandoning an in-flight
-// query hands the slot to a reaper instead of leaking it.
+// endpoint pins a whole SubmitRequest to one closed-breaker shard so
+// the serving worker coalesces it into one admission batch); retries
+// fall back to breaker-aware selection. It never blocks indefinitely:
+// every wait selects on qctx and the stop switch, and abandoning an
+// in-flight query hands the slot to a reaper instead of leaking it.
+//
+// Breaker discipline: once a shard is chosen its breaker may hold a
+// half-open probe reservation on this request's behalf, so every
+// terminal path must settle it — ok on success, fail on a health
+// verdict (RejectFaults, admission timeout), abandon on everything
+// that says nothing about shard health (deadlines, cancellation,
+// server stop). An unsettled probe would wedge the shard out of
+// routing forever.
 func (s *Server) attempt(qctx context.Context, seq int, replicas [][]int, deadline time.Time, pinned int) outcome {
 	retries := 0
 	for {
@@ -143,9 +151,11 @@ func (s *Server) attempt(qctx context.Context, seq int, replicas [][]int, deadli
 			return outcome{status: http.StatusServiceUnavailable, msg: "every shard circuit open",
 				retryAfter: s.opt.BreakerCooldown, transient: true, retries: retries}
 		}
+		brk := s.brks[shard]
 		var budget time.Duration
 		if !deadline.IsZero() {
 			if budget = time.Until(deadline); budget <= 0 {
+				brk.abandon()
 				s.met.deadline.Add(1)
 				return outcome{status: http.StatusGatewayTimeout, msg: "deadline exceeded", retries: retries}
 			}
@@ -157,20 +167,23 @@ func (s *Server) attempt(qctx context.Context, seq int, replicas [][]int, deadli
 		switch {
 		case err == nil:
 		case errors.Is(err, serve.ErrDeadlineExceeded):
+			brk.abandon()
 			s.met.deadline.Add(1)
 			return outcome{status: http.StatusGatewayTimeout, msg: "deadline exceeded before admission", retries: retries}
 		case qctx.Err() != nil:
+			brk.abandon()
 			o := s.interrupted(qctx)
 			o.retries = retries
 			return o
 		case errors.Is(err, context.DeadlineExceeded):
 			// AdmitTimeout elapsed against a full shard queue: explicit
 			// backpressure, and a health strike against the shard.
-			s.brks[shard].fail(time.Now())
+			brk.fail(time.Now())
 			s.met.backpressure.Add(1)
 			return outcome{status: http.StatusTooManyRequests, msg: "admission queue full",
 				retryAfter: s.opt.AdmitTimeout, transient: true, retries: retries}
 		default:
+			brk.abandon()
 			s.met.unavailable.Add(1)
 			return outcome{status: http.StatusServiceUnavailable, msg: err.Error(), retryAfter: time.Second, retries: retries}
 		}
@@ -179,19 +192,21 @@ func (s *Server) attempt(qctx context.Context, seq int, replicas [][]int, deadli
 		case r := <-s.waiters[seq]:
 			switch {
 			case !r.Rejected:
-				s.brks[shard].ok()
+				brk.ok()
 				s.met.served.Add(1)
 				s.met.observe(r.Latency)
 				return outcome{status: http.StatusOK, res: r, shard: shard, retries: retries}
 			case r.Reason == serve.RejectDeadline:
+				brk.abandon()
 				s.met.deadline.Add(1)
 				return outcome{status: http.StatusGatewayTimeout, msg: "deadline exceeded in queue", retries: retries}
 			case r.Reason == serve.RejectCanceled:
+				brk.abandon()
 				o := s.interrupted(qctx)
 				o.retries = retries
 				return o
 			default: // serve.RejectFaults: transient, retry with backoff
-				s.brks[shard].fail(time.Now())
+				brk.fail(time.Now())
 				if retries >= s.opt.MaxRetries {
 					s.met.faultExhausted.Add(1)
 					return outcome{status: http.StatusServiceUnavailable,
@@ -209,11 +224,13 @@ func (s *Server) attempt(qctx context.Context, seq int, replicas [][]int, deadli
 		case <-qctx.Done():
 			// The query may still sit in the shard queue; a reaper waits
 			// out its terminal callback before recycling the slot.
+			brk.abandon()
 			s.reap(seq)
 			o := s.interrupted(qctx)
 			o.retries, o.handedOff = retries, true
 			return o
 		case <-s.stopped:
+			brk.abandon()
 			s.reap(seq)
 			s.met.unavailable.Add(1)
 			return outcome{status: http.StatusServiceUnavailable, msg: errServerStopped.Error(),

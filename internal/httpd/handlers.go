@@ -140,11 +140,15 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 }
 
 // admitHTTP runs the per-client rate-limit gate shared by the query
-// endpoints; it reports whether the request may proceed.
-func (s *Server) admitHTTP(w http.ResponseWriter, r *http.Request, client string, queries int64) bool {
-	ok, retryAfter := s.rl.allow(client, time.Now())
+// endpoints, charging n tokens; it reports whether the request may
+// proceed. The gate runs before the body is read, so a denied batch's
+// size is unknown by design: rejections are metered per envelope, and
+// an admitted batch's remaining items are charged after decode via
+// rateLimiter.charge.
+func (s *Server) admitHTTP(w http.ResponseWriter, r *http.Request, client string, n float64) bool {
+	ok, retryAfter := s.rl.allow(client, time.Now(), n)
 	if !ok {
-		s.met.rateLimited.Add(queries)
+		s.met.rateLimited.Add(1)
 		s.met.addClient(client, false, true, 0)
 		writeJSON(w, http.StatusTooManyRequests, retryAfter, ErrorResponse{Error: "rate limited", Transient: true})
 		return false
@@ -205,8 +209,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.addClient(client, o.status == http.StatusOK, false, cw.n)
 }
 
-// handleSubmit is POST /v1/submit: a query batch pinned to one shard so
-// the serving worker coalesces it into one admission batch. Items are
+// handleSubmit is POST /v1/submit: a query batch pinned to one
+// closed-breaker shard so the serving worker coalesces it into one
+// admission batch; with no circuit closed, items route individually so
+// a half-open shard still sees at most its single probe. Items are
 // dispatched concurrently and answered per item; the HTTP status is 200
 // whenever the envelope itself was acceptable.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +224,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.endRequest()
+	// The gate runs before any ingest, as on /v1/query: a rate-limited
+	// client must not cost MaxBodyBytes of read plus a JSON parse per
+	// rejected envelope. One token covers the envelope here; the rest of
+	// the batch is charged right after decode, once its size is known.
+	if !s.admitHTTP(w, r, client, 1) {
+		return
+	}
 
 	cw := &countingWriter{ResponseWriter: w}
 	body, ok := s.readBody(cw, r)
@@ -233,11 +246,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.requests.Add(int64(len(sr.Queries) - 1)) // count batch items, not envelopes
-	if !s.admitHTTP(cw, r, client, int64(len(sr.Queries))) {
-		return
-	}
+	s.rl.charge(client, time.Now(), float64(len(sr.Queries)-1))
 
-	pinned := s.pickShard(time.Now())
+	pinned := s.pickShardClosed()
 	items := make([]SubmitItem, len(sr.Queries))
 	var wg sync.WaitGroup
 	for i := range sr.Queries {

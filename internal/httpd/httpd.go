@@ -43,7 +43,10 @@ type Options struct {
 	// ShedP99 sheds (by Policy) while the observed served p99 exceeds
 	// it. 0 disables the latency trigger.
 	ShedP99 time.Duration
-	// RatePerSec and RateBurst configure the per-client token bucket;
+	// RatePerSec and RateBurst configure the per-client token bucket.
+	// Tokens are charged per query, not per request — a /v1/submit
+	// batch costs one token per item, debited as debt past the burst —
+	// so batching cannot multiply a client's effective rate.
 	// RatePerSec <= 0 disables rate limiting. RateBurst < 1 means 1.
 	RatePerSec float64
 	RateBurst  float64
@@ -315,6 +318,27 @@ func (s *Server) pickShard(now time.Time) int {
 	for i := 0; i < n; i++ {
 		shard := (start + i) % n
 		if s.brks[shard].allow(now) {
+			return shard
+		}
+	}
+	return -1
+}
+
+// pickShardClosed chooses a shard whose breaker is fully closed,
+// round-robin from a seeded start, consuming nothing. The batch
+// endpoint pins whole SubmitRequests through it: allow would hand out a
+// half-open shard's single probe slot and then see the entire batch
+// land on the sick shard as its "probe". Returns -1 when no circuit is
+// closed; callers then leave items to per-item breaker-aware routing,
+// which preserves the one-probe-at-a-time discipline.
+func (s *Server) pickShardClosed() int {
+	n := len(s.brks)
+	s.rngMu.Lock()
+	start := s.rng.Intn(n)
+	s.rngMu.Unlock()
+	for i := 0; i < n; i++ {
+		shard := (start + i) % n
+		if s.brks[shard].closed() {
 			return shard
 		}
 	}

@@ -257,6 +257,102 @@ func TestShutdownDrainsAndRefuses(t *testing.T) {
 	}
 }
 
+// TestProbeSlotNotLeakedOnDeadlineExpiry is the regression for the
+// half-open wedge: a probe request that terminates without a health
+// verdict (here: deadline spent before submit) must release its probe
+// reservation, or the shard stays excluded from routing forever.
+func TestProbeSlotNotLeakedOnDeadlineExpiry(t *testing.T) {
+	s, _ := newFrontend(t, Options{BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	now := time.Now()
+	// Shard 0: opened long ago, cooldown elapsed — the next allow grants
+	// its half-open probe. Every other shard: opened just now, hard off.
+	s.brks[0].fail(now.Add(-2 * time.Minute))
+	for _, b := range s.brks[1:] {
+		b.fail(now)
+	}
+
+	qctx, qcancel := context.WithCancelCause(context.Background())
+	defer qcancel(nil)
+	replicas, err := s.resolveReplicas(QueryRequest{Buckets: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, ok := s.acquireSeq(qctx)
+	if !ok {
+		t.Fatal("seq acquisition failed")
+	}
+	o := s.attempt(qctx, seq, replicas, now.Add(-time.Millisecond), -1)
+	if !o.handedOff {
+		s.releaseSeq(seq)
+	}
+	if o.status != http.StatusGatewayTimeout {
+		t.Fatalf("expired budget: %d %q, want 504", o.status, o.msg)
+	}
+	if st := s.brks[0].snapshot(); st != "half-open" {
+		t.Fatalf("shard 0 %s after abandoned probe, want half-open", st)
+	}
+	// A leaked reservation would leave every circuit unroutable here,
+	// answering 503 "every shard circuit open" until restart.
+	if got := s.pickShard(time.Now()); got != 0 {
+		t.Fatalf("pickShard = %d after abandoned probe, want shard 0", got)
+	}
+}
+
+// TestPickShardClosedSkipsHalfOpen pins batches only through closed
+// circuits: handing a half-open shard's single probe slot to a whole
+// batch would send up to MaxBatch requests at a sick shard as its
+// "probe".
+func TestPickShardClosedSkipsHalfOpen(t *testing.T) {
+	s, _ := newFrontend(t, Options{BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	if got := s.pickShardClosed(); got < 0 {
+		t.Fatal("no batch pin with every circuit closed")
+	}
+	now := time.Now()
+	// Shard 0 is probe-eligible (open, cooldown elapsed), the rest hard
+	// open: no circuit is closed, so the pin must decline and leave the
+	// items to per-item breaker-aware routing.
+	s.brks[0].fail(now.Add(-2 * time.Minute))
+	for _, b := range s.brks[1:] {
+		b.fail(now)
+	}
+	if got := s.pickShardClosed(); got != -1 {
+		t.Fatalf("batch pin chose shard %d with no closed circuit, want -1", got)
+	}
+	// The decline consumed nothing: the probe is still grantable.
+	if !s.brks[0].allow(now) {
+		t.Fatal("pickShardClosed consumed the half-open probe slot")
+	}
+}
+
+func TestSubmitRateLimitGateAndBatchCharge(t *testing.T) {
+	s, hs := newFrontend(t, Options{RatePerSec: 0.001, RateBurst: 3})
+	hdr := map[string]string{"X-Client-ID": "batchy"}
+
+	// One envelope of 3 queries: 1 token at the gate, 2 charged after
+	// decode. The burst-3 bucket is now empty.
+	status, body := post(t, hs.URL+"/v1/submit",
+		`{"queries":[{"buckets":[0]},{"buckets":[1]},{"buckets":[2]}]}`, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("batch inside the budget: %d %s", status, body)
+	}
+	// Batching bought nothing: the next envelope is rejected, where
+	// per-envelope accounting would have had 2 tokens to spare.
+	status, _ = post(t, hs.URL+"/v1/submit", `{"queries":[{"buckets":[3]}]}`, hdr)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("envelope past the charged batch: %d, want 429", status)
+	}
+	// The gate runs before ingest: a rate-limited client's body is never
+	// read or parsed — 429, not 400, and no badRequest strike.
+	before := s.Stats().BadRequest
+	status, _ = post(t, hs.URL+"/v1/submit", `{"queries":`, hdr)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("malformed body from limited client: %d, want 429", status)
+	}
+	if after := s.Stats().BadRequest; after != before {
+		t.Fatalf("rate-limited envelope was still decoded: badRequest %d -> %d", before, after)
+	}
+}
+
 func TestDeadlineAlreadyExpiredUpstream(t *testing.T) {
 	s, _ := newFrontend(t, Options{})
 	// A 1ms budget consumed before dispatch: the serve layer must see a

@@ -27,7 +27,7 @@ type metrics struct {
 	requests       atomic.Int64 // queries received (batch items counted individually)
 	served         atomic.Int64 // 200s
 	badRequest     atomic.Int64 // 400/413
-	rateLimited    atomic.Int64 // 429 token bucket
+	rateLimited    atomic.Int64 // 429 token bucket, per rejected envelope (pre-decode, size unknown)
 	backpressure   atomic.Int64 // 429 admission queue full past AdmitTimeout
 	shedRejected   atomic.Int64 // 503 reject-new shedding
 	shedEvicted    atomic.Int64 // 503 drop-latest-deadline eviction

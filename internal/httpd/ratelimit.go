@@ -36,15 +36,48 @@ func newRateLimiter(rate, burst float64) *rateLimiter {
 	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
 }
 
-// allow spends one token from client's bucket, reporting whether the
-// request may proceed and, when it may not, how long until a token is
-// available (the Retry-After hint).
-func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+// allow spends n tokens (one per query) from client's bucket, reporting
+// whether the request may proceed and, when it may not, how long until
+// a token is available (the Retry-After hint). Admission needs at least
+// one whole token; an admitted spend may drive the balance negative,
+// and the debt throttles the client's next requests — so sustained
+// throughput is bounded by rate queries/sec no matter how queries are
+// packed into envelopes. Debt is bounded: it takes a positive balance
+// to incur any, so one maximal batch past a full bucket is the worst
+// case.
+func (rl *rateLimiter) allow(client string, now time.Time, n float64) (ok bool, retryAfter time.Duration) {
 	if rl.rate <= 0 {
 		return true, 0
 	}
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
+	b := rl.bucket(client, now)
+	if b.tokens >= 1 {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / rl.rate * float64(time.Second))
+}
+
+// charge debits n tokens from an already-admitted client without
+// gating. The submit endpoint admits on one token before reading the
+// body — so a rate-limited client costs no ingest or JSON parse — and
+// charges the remaining batch items here once the batch size is known.
+func (rl *rateLimiter) charge(client string, now time.Time, n float64) {
+	if rl.rate <= 0 || n <= 0 {
+		return
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.bucket(client, now).tokens -= n
+}
+
+// bucket looks up client's refill state, creating (with eviction at the
+// table bound) and refilling it; called with mu held.
+//
+//imflow:locked(mu)
+func (rl *rateLimiter) bucket(client string, now time.Time) *tokenBucket {
 	b := rl.buckets[client]
 	if b == nil {
 		if len(rl.buckets) >= rateLimiterMaxClients {
@@ -60,12 +93,7 @@ func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter 
 		}
 		b.last = now
 	}
-	if b.tokens >= 1 {
-		b.tokens--
-		return true, 0
-	}
-	deficit := 1 - b.tokens
-	return false, time.Duration(deficit / rl.rate * float64(time.Second))
+	return b
 }
 
 // evictStalest drops the bucket with the oldest refill stamp; called

@@ -11,11 +11,11 @@ func TestRateLimiterBurstAndRefill(t *testing.T) {
 	rl := newRateLimiter(10, 3) // 10 tokens/s, burst 3
 
 	for i := 0; i < 3; i++ {
-		if ok, _ := rl.allow("a", now); !ok {
+		if ok, _ := rl.allow("a", now, 1); !ok {
 			t.Fatalf("request %d inside the burst denied", i)
 		}
 	}
-	ok, retry := rl.allow("a", now)
+	ok, retry := rl.allow("a", now, 1)
 	if ok {
 		t.Fatal("request past the burst admitted")
 	}
@@ -23,11 +23,11 @@ func TestRateLimiterBurstAndRefill(t *testing.T) {
 		t.Fatalf("retry hint %v, want ~100ms", retry)
 	}
 	// 100ms refills one token.
-	if ok, _ := rl.allow("a", now.Add(100*time.Millisecond)); !ok {
+	if ok, _ := rl.allow("a", now.Add(100*time.Millisecond), 1); !ok {
 		t.Fatal("refilled token denied")
 	}
 	// Other clients are independent.
-	if ok, _ := rl.allow("b", now); !ok {
+	if ok, _ := rl.allow("b", now, 1); !ok {
 		t.Fatal("fresh client denied")
 	}
 }
@@ -35,9 +35,44 @@ func TestRateLimiterBurstAndRefill(t *testing.T) {
 func TestRateLimiterDisabled(t *testing.T) {
 	rl := newRateLimiter(0, 0)
 	for i := 0; i < 100; i++ {
-		if ok, _ := rl.allow("a", time.Unix(0, 0)); !ok {
+		if ok, _ := rl.allow("a", time.Unix(0, 0), 1); !ok {
 			t.Fatal("disabled limiter denied a request")
 		}
+	}
+}
+
+func TestRateLimiterBatchDebt(t *testing.T) {
+	now := time.Unix(2500, 0)
+	rl := newRateLimiter(10, 4) // 10 tokens/s, burst 4
+
+	// A 16-query batch spends far past the burst: admitted (a whole
+	// token was available), balance driven to -12.
+	if ok, _ := rl.allow("a", now, 16); !ok {
+		t.Fatal("batch with a full bucket denied")
+	}
+	// The debt throttles everything until it is repaid with interest:
+	// the next single query needs (12+1)/10 s of refill.
+	ok, retry := rl.allow("a", now, 1)
+	if ok {
+		t.Fatal("request admitted while the bucket is in debt")
+	}
+	if retry < 1250*time.Millisecond || retry > 1350*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~1.3s for a 13-token deficit", retry)
+	}
+	if ok, _ := rl.allow("a", now.Add(1301*time.Millisecond), 1); !ok {
+		t.Fatal("request denied after the debt refilled")
+	}
+
+	// charge debits without gating and incurs the same debt.
+	rl.charge("b", now, 7)
+	if ok, _ := rl.allow("b", now, 1); ok {
+		t.Fatal("request admitted past an uncollected charge")
+	}
+	// Disabled limiter: charge is a no-op, allow admits any n.
+	off := newRateLimiter(0, 0)
+	off.charge("c", now, 1e9)
+	if ok, _ := off.allow("c", now, 1e9); !ok {
+		t.Fatal("disabled limiter denied a batch")
 	}
 }
 
@@ -45,7 +80,7 @@ func TestRateLimiterBoundedClients(t *testing.T) {
 	rl := newRateLimiter(1, 1)
 	now := time.Unix(3000, 0)
 	for i := 0; i < rateLimiterMaxClients+100; i++ {
-		rl.allow(fmt.Sprintf("client-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+		rl.allow(fmt.Sprintf("client-%d", i), now.Add(time.Duration(i)*time.Millisecond), 1)
 	}
 	rl.mu.Lock()
 	n := len(rl.buckets)
